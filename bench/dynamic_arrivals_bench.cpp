@@ -1,0 +1,111 @@
+// Dynamic-arrival study (the paper's Section 6 future work): sweeps the
+// Poisson arrival rate lambda and reports makespan and delivery latency of
+// the paper's protocols under non-batched arrivals, plus an adversarial
+// burst pattern. Uses the per-node engine: with staggered arrivals station
+// states genuinely diverge and the fair aggregate engine does not apply.
+#include <cstdint>
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/dynamic_one_fail.hpp"
+#include "core/registry.hpp"
+#include "sim/node_engine.hpp"
+
+namespace {
+
+struct DynResult {
+  double mean_makespan = 0.0;
+  double mean_latency = 0.0;
+  double p95_latency = 0.0;
+  double fairness = 0.0;  // Jain index over per-message latencies
+  std::uint64_t incomplete = 0;
+};
+
+DynResult run_dynamic(const ucr::ProtocolFactory& factory,
+                      const std::vector<ucr::ArrivalPattern>& workloads,
+                      std::uint64_t seed) {
+  DynResult out;
+  std::vector<double> makespans;
+  std::vector<double> latencies;
+  for (std::size_t r = 0; r < workloads.size(); ++r) {
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(seed, 1000 + r);
+    const std::uint64_t k = workloads[r].size();
+    ucr::LatencyMetrics latency;
+    const ucr::NodeFactory node_factory = [&](ucr::Xoshiro256& node_rng) {
+      return factory.node(k, node_rng);
+    };
+    // Finite cap: a protocol may livelock under sustained arrivals (One-
+    // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
+    // are reported through the `incomplete` column, not waited out.
+    ucr::EngineOptions opts;
+    opts.max_slots = 300000;
+    const auto run = ucr::run_node_engine(node_factory, workloads[r], rng,
+                                          opts, &latency);
+    if (!run.completed) ++out.incomplete;
+    makespans.push_back(static_cast<double>(run.slots));
+    for (auto l : latency.latencies) latencies.push_back(static_cast<double>(l));
+  }
+  out.mean_makespan = ucr::summarize(makespans).mean;
+  const auto lat = ucr::summarize(latencies);
+  out.mean_latency = lat.mean;
+  out.p95_latency = lat.p95;
+  if (!latencies.empty()) {
+    out.fairness = ucr::jain_fairness_index(latencies);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = ucr::bench::parse_harness_config(argc, argv, 200);
+  const std::uint64_t k = cfg.k_max;  // per-node engine: keep k moderate
+
+  std::cout << "=== Dynamic arrivals (k = " << k << ", " << cfg.runs
+            << " runs per cell, per-node engine) ===\n\n";
+
+  auto protocols = ucr::paper_protocols();
+  // This repo's future-work variant (DESIGN.md / dynamic_one_fail.hpp).
+  protocols.push_back(ucr::make_dynamic_one_fail_factory());
+
+  for (const double lambda : {0.02, 0.1, 0.5}) {
+    std::cout << "Poisson arrivals, lambda = " << lambda << " msg/slot\n";
+    ucr::Table table(
+        {"protocol", "mean makespan", "mean latency", "p95 latency",
+         "fairness", "incomplete"});
+    for (const auto& factory : protocols) {
+      std::vector<ucr::ArrivalPattern> workloads;
+      for (std::uint64_t r = 0; r < cfg.runs; ++r) {
+        ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(cfg.seed, r);
+        workloads.push_back(ucr::poisson_arrivals(k, lambda, arrival_rng));
+      }
+      const DynResult res = run_dynamic(factory, workloads, cfg.seed);
+      table.add_row({factory.name, ucr::format_count(res.mean_makespan),
+                     ucr::format_double(res.mean_latency, 1),
+                     ucr::format_double(res.p95_latency, 1),
+                     ucr::format_double(res.fairness, 3),
+                     std::to_string(res.incomplete)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Adversarial bursts: 4 bursts of " << k / 4 << " messages, "
+            << "gap 64 slots\n";
+  ucr::Table table({"protocol", "mean makespan", "mean latency",
+                    "p95 latency", "fairness", "incomplete"});
+  for (const auto& factory : protocols) {
+    const auto workload = ucr::burst_arrivals(4, k / 4, 64);
+    std::vector<ucr::ArrivalPattern> workloads(cfg.runs, workload);
+    const DynResult res = run_dynamic(factory, workloads, cfg.seed);
+    table.add_row({factory.name, ucr::format_count(res.mean_makespan),
+                   ucr::format_double(res.mean_latency, 1),
+                   ucr::format_double(res.p95_latency, 1),
+                   ucr::format_double(res.fairness, 3),
+                   std::to_string(res.incomplete)});
+  }
+  table.print(std::cout);
+  return 0;
+}

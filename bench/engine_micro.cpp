@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate: sampler
+// throughput and slots/second of both engines. These justify the engine
+// split documented in DESIGN.md §4 — the aggregate engine is what makes
+// the paper's k = 10^7 sweep feasible on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/samplers.hpp"
+#include "core/exp_backon_backoff.hpp"
+#include "core/one_fail_adaptive.hpp"
+#include "sim/fair_engine.hpp"
+#include "sim/node_engine.hpp"
+
+namespace {
+
+void BM_Xoshiro_NextDouble(benchmark::State& state) {
+  ucr::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_double());
+  }
+}
+BENCHMARK(BM_Xoshiro_NextDouble);
+
+void BM_SlotCategory(benchmark::State& state) {
+  ucr::Xoshiro256 rng(2);
+  const std::uint64_t m = state.range(0);
+  const double p = 1.0 / static_cast<double>(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ucr::sample_slot_category(rng, m, p));
+  }
+}
+BENCHMARK(BM_SlotCategory)->Arg(100)->Arg(1000000);
+
+void BM_BinomialInversion(benchmark::State& state) {
+  ucr::Xoshiro256 rng(3);
+  const std::uint64_t n = state.range(0);
+  const double p = 1.0 / static_cast<double>(n);  // mean 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ucr::sample_binomial(rng, n, p));
+  }
+}
+BENCHMARK(BM_BinomialInversion)->Arg(1000)->Arg(1000000);
+
+void BM_BinomialBtrs(benchmark::State& state) {
+  ucr::Xoshiro256 rng(4);
+  const std::uint64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ucr::sample_binomial(rng, n, 0.3));
+  }
+}
+BENCHMARK(BM_BinomialBtrs)->Arg(1000)->Arg(1000000);
+
+// Whole-run benchmarks: items processed = slots simulated.
+void BM_FairSlotEngine_OneFail(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::OneFailAdaptive protocol;
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(5, seed++);
+    const auto run = ucr::run_fair_slot_engine(protocol, k, rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_FairSlotEngine_OneFail)->Arg(1000)->Arg(100000);
+
+void BM_FairWindowEngine_Sawtooth(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::ExpBackonBackoff schedule;
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(6, seed++);
+    const auto run = ucr::run_fair_window_engine(schedule, k, rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_FairWindowEngine_Sawtooth)->Arg(1000)->Arg(100000);
+
+void BM_NodeEngine_OneFail(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(7, seed++);
+    const ucr::NodeFactory factory = [](ucr::Xoshiro256&) {
+      return std::make_unique<ucr::OneFailAdaptiveNode>();
+    };
+    const auto run = ucr::run_node_engine(
+        factory, ucr::batched_arrivals(k), rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_NodeEngine_OneFail)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Reproduces FIGURE 1 of the paper: average number of steps to solve static
+// k-selection, per number of stations k, for the five evaluated protocols
+// (log-log series). Emits the series both as an aligned table and as CSV
+// (between BEGIN/END CSV markers) for replotting.
+//
+// Paper setting: k = 10^1..10^7, 10 runs per point, delta = 2.72 (OFA),
+// delta = 0.366 (EBOBO), xi_delta = xi_beta = 0.1 and epsilon ~= 1/(k+1)
+// (LFA, xi_t in {1/2, 1/10}), r = 2 (LLIBO).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench/harness_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+#include "sim/resultio.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = ucr::bench::parse_harness_config(argc, argv, 1000000);
+  const auto protocols = ucr::paper_protocols();
+  const auto ks = ucr::paper_k_sweep(cfg.k_max);
+
+  std::cout << "=== Figure 1: steps to solve static k-selection "
+            << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
+            << ") ===\n\n";
+
+  // protocol x k -> aggregate
+  std::vector<std::vector<ucr::AggregateResult>> grid;
+  grid.reserve(protocols.size());
+  for (const auto& factory : protocols) {
+    std::vector<ucr::AggregateResult> row;
+    row.reserve(ks.size());
+    for (const auto k : ks) {
+      row.push_back(
+          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {}));
+    }
+    grid.push_back(std::move(row));
+  }
+
+  std::vector<std::string> header{"k"};
+  for (const auto& factory : protocols) header.push_back(factory.name);
+  ucr::Table table(header);
+  for (std::size_t j = 0; j < ks.size(); ++j) {
+    std::vector<std::string> row{std::to_string(ks[j])};
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      row.push_back(ucr::format_double(grid[i][j].makespan.mean, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBEGIN CSV\n";
+  ucr::CsvWriter csv(std::cout);
+  csv.write_row({"protocol", "k", "mean_steps", "ci95_halfwidth",
+                 "min_steps", "max_steps"});
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    for (std::size_t j = 0; j < ks.size(); ++j) {
+      const auto& res = grid[i][j];
+      csv.write_row({protocols[i].name, std::to_string(ks[j]),
+                     ucr::format_double(res.makespan.mean, 1),
+                     ucr::format_double(res.makespan.ci95_halfwidth, 1),
+                     ucr::format_double(res.makespan.min, 0),
+                     ucr::format_double(res.makespan.max, 0)});
+    }
+  }
+  std::cout << "END CSV\n";
+
+  // Optional archival: UCR_CSV_OUT=<path> persists the aggregate rows in
+  // the resultio format (re-readable via read_aggregate_csv).
+  if (const char* out = std::getenv("UCR_CSV_OUT");
+      out != nullptr && *out != '\0') {
+    std::vector<ucr::AggregateRow> rows;
+    for (const auto& protocol_row : grid) {
+      for (const auto& res : protocol_row) {
+        rows.push_back(ucr::AggregateRow::from(res));
+      }
+    }
+    std::ofstream file(out);
+    ucr::write_aggregate_csv(file, rows);
+    std::cout << "(aggregate rows written to " << out << ")\n";
+  }
+  return 0;
+}

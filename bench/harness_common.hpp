@@ -1,0 +1,39 @@
+// Shared plumbing of the reproduction harnesses (bench/ executables).
+//
+// Every harness accepts the same overrides, with the command line taking
+// precedence over the environment:
+//   --kmax=N  / UCR_KMAX   largest k of the sweep      (default varies)
+//   --runs=N  / UCR_RUNS   runs per (protocol, k)      (default 10, as in
+//                          the paper)
+//   --seed=N  / UCR_SEED   base seed                   (default 2011)
+//
+// Full-scale reproduction of the paper (k up to 10^7) is run with
+// UCR_KMAX=10000000; defaults are sized so that `for b in build/bench/*`
+// finishes in minutes on one core. EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace ucr::bench {
+
+struct HarnessConfig {
+  std::uint64_t k_max;
+  std::uint64_t runs;
+  std::uint64_t seed;
+};
+
+inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
+                                          std::uint64_t default_kmax) {
+  const CliArgs args(argc, argv, {"kmax", "runs", "seed"});
+  HarnessConfig cfg;
+  cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
+  cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
+  cfg.seed = args.get_u64("seed", env_u64("UCR_SEED", 2011));
+  return cfg;
+}
+
+}  // namespace ucr::bench

@@ -1,0 +1,61 @@
+// LAN batched-packet scenario (the paper's local-area-network motivation,
+// after Bender et al. [2]).
+//
+//   $ ./lan_batch [--kmax=100000] [--runs=5] [--seed=11] [--csv=1]
+//
+// A switch port floods k stations' packets into a shared Ethernet-like
+// channel at once; sweeps k over powers of ten and reports how each
+// strategy's makespan scales. With --csv=1 the series is emitted as CSV
+// for replotting (same shape as Figure 1 of the paper).
+#include <cstdint>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/registry.hpp"
+
+int main(int argc, char** argv) {
+  const ucr::CliArgs args(argc, argv, {"kmax", "runs", "seed", "csv"});
+  const std::uint64_t k_max = args.get_u64("kmax", 100000);
+  const std::uint64_t runs = args.get_u64("runs", 5);
+  const std::uint64_t seed = args.get_u64("seed", 11);
+  const bool csv = args.get_bool("csv", false);
+
+  const auto protocols = ucr::paper_protocols();
+  const auto ks = ucr::paper_k_sweep(k_max);
+
+  if (csv) {
+    ucr::CsvWriter writer(std::cout);
+    writer.write_row({"protocol", "k", "mean_makespan", "ci95", "ratio"});
+    for (const auto& factory : protocols) {
+      for (std::uint64_t k : ks) {
+        const auto res =
+            ucr::run_fair_experiment(factory, k, runs, seed, {});
+        writer.write_row({factory.name, std::to_string(k),
+                          ucr::format_count(res.makespan.mean),
+                          ucr::format_count(res.makespan.ci95_halfwidth),
+                          ucr::format_double(res.ratio.mean, 3)});
+      }
+    }
+    return 0;
+  }
+
+  std::cout << "Batched packet contention on a shared LAN channel ("
+            << runs << " runs per point)\n\n";
+  std::vector<std::string> header{"k"};
+  for (const auto& factory : protocols) header.push_back(factory.name);
+  ucr::Table table(header);
+  for (std::uint64_t k : ks) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& factory : protocols) {
+      const auto res = ucr::run_fair_experiment(factory, k, runs, seed, {});
+      row.push_back(ucr::format_double(res.makespan.mean, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nCells are mean makespans in slots (compare Figure 1 of "
+               "the paper).\n";
+  return 0;
+}

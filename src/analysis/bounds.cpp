@@ -1,0 +1,107 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/mathx.hpp"
+
+namespace ucr {
+
+double fair_optimal_ratio() { return std::exp(1.0); }
+
+double one_fail_ratio(double delta) {
+  UCR_REQUIRE(delta > 0.0, "delta must be positive");
+  return 2.0 * (delta + 1.0);
+}
+
+double one_fail_bound(double delta, std::uint64_t k, double log_term_c) {
+  UCR_REQUIRE(k >= 1, "k must be positive");
+  UCR_REQUIRE(log_term_c >= 0.0, "additive-term constant must be >= 0");
+  const double lg = log2x(static_cast<double>(k) + 1.0);
+  return one_fail_ratio(delta) * static_cast<double>(k) + log_term_c * lg * lg;
+}
+
+double one_fail_error(std::uint64_t k) {
+  return 2.0 / (1.0 + static_cast<double>(k));
+}
+
+double exp_backon_ratio(double delta) {
+  UCR_REQUIRE(delta > 0.0 && delta < 1.0 / std::exp(1.0),
+              "Theorem 2 requires 0 < delta < 1/e");
+  return 4.0 * (1.0 + 1.0 / delta);
+}
+
+double exp_backon_bound(double delta, std::uint64_t k) {
+  return exp_backon_ratio(delta) * static_cast<double>(k);
+}
+
+double lemma1_min_m(double delta, double beta, std::uint64_t k) {
+  UCR_REQUIRE(delta > 0.0 && delta < 1.0 / std::exp(1.0),
+              "Lemma 1 requires 0 < delta < 1/e");
+  UCR_REQUIRE(beta > 0.0, "Lemma 1 requires beta > 0");
+  UCR_REQUIRE(k >= 2, "Lemma 1 threshold needs k >= 2");
+  const double e = std::exp(1.0);
+  const double denom = 1.0 - e * delta;
+  return (2.0 * e / (denom * denom)) *
+         (1.0 + (beta + 0.5) * lnx(static_cast<double>(k)));
+}
+
+double ofa_tau(double delta, std::uint64_t k) {
+  UCR_REQUIRE(delta > 0.0, "delta must be positive");
+  return 300.0 * delta * lnx(1.0 + static_cast<double>(k));
+}
+
+double ofa_gamma(double delta) {
+  UCR_REQUIRE(delta > 2.0, "gamma is defined for delta > 2");
+  return (delta - 1.0) * (3.0 - delta) / (delta - 2.0);
+}
+
+double ofa_big_s(double delta, std::uint64_t k) {
+  double sum = 0.0;
+  double term = 1.0;
+  for (int j = 0; j <= 4; ++j) {
+    sum += term;
+    term *= 5.0 / 6.0;
+  }
+  return 2.0 * sum * ofa_tau(delta, k);
+}
+
+double ofa_big_m(double delta, std::uint64_t k) {
+  UCR_REQUIRE(delta > std::exp(1.0), "Lemma 5 requires delta > e");
+  const double ln_delta = lnx(delta);
+  UCR_CHECK(ln_delta > 1.0, "ln(delta) > 1 must hold for delta > e");
+  const double s = ofa_big_s(delta, k);
+  const double tau = ofa_tau(delta, k);
+  const double gamma = ofa_gamma(delta);
+  return ((delta + 1.0) * ln_delta - 1.0) / (ln_delta - 1.0) * s +
+         ((gamma + 2.0 * tau + 1.0) * ln_delta - 1.0) / (ln_delta - 1.0);
+}
+
+double log_fails_analysis_ratio(double xi_t) {
+  UCR_REQUIRE(xi_t > 0.0 && xi_t < 1.0, "xi_t must be in (0, 1)");
+  // (e + 1 + xi) / (1 - xi_t); xi as used in the paper's Table 1 rows.
+  const double e = std::exp(1.0);
+  const double xi = xi_t >= 0.5 ? 0.182 : 0.2;
+  return (e + 1.0 + xi) / (1.0 - xi_t);
+}
+
+double loglog_ratio_shape(std::uint64_t k) {
+  UCR_REQUIRE(k >= 16, "lglg/lglglg shape needs k >= 16");
+  const double lglg = log2x(log2x(static_cast<double>(k)));
+  const double lglglg = log2x(lglg);
+  UCR_REQUIRE(lglglg > 0.0, "shape undefined where lglglg(k) <= 0");
+  return lglg / lglglg;
+}
+
+std::string analysis_cell(const std::string& protocol_name) {
+  if (protocol_name == "Log-Fails Adaptive (2)") return "7.8";
+  if (protocol_name == "Log-Fails Adaptive (10)") return "4.4";
+  if (protocol_name == "One-Fail Adaptive") return "7.4";
+  if (protocol_name == "Exp Back-on/Back-off") return "14.9";
+  if (protocol_name == "LogLog-Iterated Back-off")
+    return "Th(lglg k/lglglg k)";
+  if (protocol_name == "Known-k genie (1/k)") return "2.72 (= e)";
+  return "-";
+}
+
+}  // namespace ucr

@@ -1,0 +1,56 @@
+#include "analysis/theory_checks.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+double fact3_lower(double x) {
+  UCR_REQUIRE(x != 0.0 && std::fabs(x) < 1.0, "Fact 3 needs 0 < |x| < 1");
+  return std::exp(x / (1.0 + x));
+}
+
+double fact3_upper(double x) {
+  UCR_REQUIRE(x != 0.0 && std::fabs(x) < 1.0, "Fact 3 needs 0 < |x| < 1");
+  return std::exp(x);
+}
+
+double fact4_f(double a, double x) {
+  UCR_REQUIRE(a > 1.0, "Fact 4 needs a > 1");
+  UCR_REQUIRE(x > 1.0, "Fact 4 needs x > 1");
+  return (a / x) * std::pow(1.0 - 1.0 / x, a - 1.0);
+}
+
+double at_success_probability(std::uint64_t kappa, double kappa_tilde) {
+  UCR_REQUIRE(kappa >= 1, "at least one station required");
+  UCR_REQUIRE(kappa_tilde > 1.0, "estimator must exceed 1");
+  const double kd = static_cast<double>(kappa);
+  return (kd / kappa_tilde) *
+         std::exp((kd - 1.0) * std::log1p(-1.0 / kappa_tilde));
+}
+
+double lemma1_failure_bound(std::uint64_t m, double delta) {
+  UCR_REQUIRE(delta > 0.0 && delta < 1.0 / std::exp(1.0),
+              "Lemma 1 requires 0 < delta < 1/e");
+  UCR_REQUIRE(m >= 1, "at least one ball required");
+  const double e = std::exp(1.0);
+  const double md = static_cast<double>(m);
+  const double d = 1.0 - e * delta;
+  const double bound =
+      std::exp(-md * d * d / (2.0 * e)) * e * std::sqrt(md);
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+double lemma4_sigma_threshold(double kappa_r1, double alpha, double t,
+                              double delta, double beta) {
+  UCR_REQUIRE(beta > 1.0, "beta must exceed 1");
+  const double ln_b = std::log(beta);
+  UCR_REQUIRE((delta + 1.0) * ln_b > 1.0,
+              "Lemma 4 requires (delta + 1) ln(beta) > 1");
+  const double denom = (delta + 1.0) * ln_b - 1.0;
+  return kappa_r1 * (ln_b - 1.0) / denom -
+         (alpha + 1.0 - t) * (ln_b - 1.0) / denom;
+}
+
+}  // namespace ucr

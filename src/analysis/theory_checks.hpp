@@ -1,0 +1,47 @@
+// Executable forms of the mathematical ingredients of the paper's analysis
+// (Appendix A), so the proofs' building blocks can be validated numerically
+// by the test suite and the lemma benches:
+//
+//  * Fact 3  — e^{x/(1+x)} <= 1+x <= e^x for 0 < |x| < 1;
+//  * Fact 4  — f(x) = (a/x)(1-1/x)^{a-1} is non-decreasing for x < a and
+//              maximized at x = a;
+//  * the slot success probability Pr(X = 1) = (kappa/kappa~)
+//              (1 - 1/kappa~)^{kappa-1} that Lemmas 2-4 reason about;
+//  * Lemma 1's failure-probability bound exp(-m(1-e*delta)^2/(2e))·e·sqrt(m)
+//    (the Poisson-approximation bound corrected to the exact case).
+#pragma once
+
+#include <cstdint>
+
+namespace ucr {
+
+/// Fact 3 lower bound: e^{x/(1+x)}. Requires 0 < |x| < 1.
+double fact3_lower(double x);
+
+/// Fact 3 upper bound: e^x. Requires 0 < |x| < 1.
+double fact3_upper(double x);
+
+/// Fact 4's function f(x) = (a/x)(1 - 1/x)^{a-1}, for x > 1, a > 1.
+double fact4_f(double a, double x);
+
+/// Probability that a slot is successful when kappa stations each transmit
+/// with probability 1/kappa_tilde: (kappa/kappa~)(1 - 1/kappa~)^{kappa-1}.
+/// This is the Pr(X_{r,t} = 1) of the Appendix. Requires kappa >= 1 and
+/// kappa_tilde > 1.
+double at_success_probability(std::uint64_t kappa, double kappa_tilde);
+
+/// Lemma 1's bound on Pr(#singleton bins < delta*m) when m balls are thrown
+/// into m bins: exp(-m(1-e*delta)^2/(2e)) * e * sqrt(m) (clamped to 1).
+/// Requires 0 < delta < 1/e.
+double lemma1_failure_bound(std::uint64_t m, double delta);
+
+/// Lemma 4's sigma threshold: the number of deliveries up to AT step t of a
+/// round that keeps the success probability >= 1/beta, given kappa_{r,1},
+/// alpha and t (see the Appendix):
+///   sigma <= kappa_{r,1} (ln b - 1)/((d+1) ln b - 1)
+///            - (alpha + 1 - t)(ln b - 1)/((d+1) ln b - 1).
+/// Requires (delta + 1) ln(beta) > 1.
+double lemma4_sigma_threshold(double kappa_r1, double alpha, double t,
+                              double delta, double beta);
+
+}  // namespace ucr

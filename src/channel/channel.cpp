@@ -1,0 +1,26 @@
+#include "channel/channel.hpp"
+
+namespace ucr {
+
+SlotOutcome Channel::resolve(std::uint64_t num_transmitters) {
+  const SlotOutcome outcome = resolve_outcome(num_transmitters);
+  switch (outcome) {
+    case SlotOutcome::kSilence:
+      ++counters_.silence;
+      break;
+    case SlotOutcome::kSuccess:
+      ++counters_.success;
+      break;
+    case SlotOutcome::kCollision:
+      ++counters_.collision;
+      break;
+  }
+  counters_.transmissions += num_transmitters;
+  if (trace_ != nullptr) {
+    trace_->record(counters_.slots, outcome, num_transmitters);
+  }
+  ++counters_.slots;
+  return outcome;
+}
+
+}  // namespace ucr

@@ -1,0 +1,51 @@
+// The shared multiple-access channel: resolves slots, keeps aggregate
+// counters, and optionally records a trace.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/slot.hpp"
+#include "channel/trace.hpp"
+
+namespace ucr {
+
+/// Aggregate channel statistics over a run.
+struct ChannelCounters {
+  std::uint64_t slots = 0;
+  std::uint64_t silence = 0;
+  std::uint64_t success = 0;
+  std::uint64_t collision = 0;
+  /// Total number of (station, slot) transmissions observed. For the O(1)
+  /// categorical engine this is not known exactly; engines then accumulate
+  /// the *expected* count in RunMetrics instead and leave this at the lower
+  /// bound implied by outcomes.
+  std::uint64_t transmissions = 0;
+};
+
+/// A synchronous multiple-access channel without collision detection.
+///
+/// Engines call `resolve()` once per slot with the number of simultaneous
+/// transmitters; the channel classifies the slot, updates counters, and
+/// appends to the trace if one is attached.
+class Channel {
+ public:
+  Channel() = default;
+
+  /// Attaches a trace sink (not owned; may be nullptr to detach).
+  void attach_trace(SlotTrace* trace) { trace_ = trace; }
+
+  /// Resolves the current slot given `num_transmitters` and advances time.
+  SlotOutcome resolve(std::uint64_t num_transmitters);
+
+  /// Slot index of the *next* slot to be resolved (0-based); equivalently
+  /// the number of slots resolved so far.
+  std::uint64_t now() const { return counters_.slots; }
+
+  const ChannelCounters& counters() const { return counters_; }
+
+ private:
+  ChannelCounters counters_;
+  SlotTrace* trace_ = nullptr;
+};
+
+}  // namespace ucr

@@ -1,0 +1,41 @@
+#include "channel/slot.hpp"
+
+namespace ucr {
+
+SlotOutcome resolve_outcome(std::uint64_t num_transmitters) {
+  if (num_transmitters == 0) return SlotOutcome::kSilence;
+  if (num_transmitters == 1) return SlotOutcome::kSuccess;
+  return SlotOutcome::kCollision;
+}
+
+std::string to_string(SlotOutcome outcome) {
+  switch (outcome) {
+    case SlotOutcome::kSilence:
+      return "silence";
+    case SlotOutcome::kSuccess:
+      return "success";
+    case SlotOutcome::kCollision:
+      return "collision";
+  }
+  return "unknown";
+}
+
+Feedback make_feedback(SlotOutcome outcome, bool transmitted,
+                       bool collision_detection) {
+  Feedback fb;
+  fb.transmitted = transmitted;
+  if (outcome == SlotOutcome::kSuccess) {
+    if (transmitted) {
+      fb.delivered_mine = true;
+    } else {
+      fb.heard_delivery = true;
+    }
+  } else if (outcome == SlotOutcome::kCollision && collision_detection) {
+    fb.heard_collision = true;
+  }
+  // Without collision detection, silence and collision are
+  // indistinguishable noise to every station: all flags stay false.
+  return fb;
+}
+
+}  // namespace ucr

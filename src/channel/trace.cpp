@@ -1,0 +1,18 @@
+#include "channel/trace.hpp"
+
+namespace ucr {
+
+SlotTrace::SlotTrace(std::size_t capacity) : capacity_(capacity) {
+  entries_.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void SlotTrace::record(std::uint64_t slot, SlotOutcome outcome,
+                       std::uint64_t transmitters) {
+  if (entries_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  entries_.push_back(TraceEntry{slot, outcome, transmitters});
+}
+
+}  // namespace ucr

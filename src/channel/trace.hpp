@@ -1,0 +1,39 @@
+// Bounded slot-trace recording for debugging and for the example programs
+// that visualize protocol dynamics (estimator vs density, sawtooth windows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/slot.hpp"
+
+namespace ucr {
+
+/// One recorded slot.
+struct TraceEntry {
+  std::uint64_t slot = 0;
+  SlotOutcome outcome = SlotOutcome::kSilence;
+  std::uint64_t transmitters = 0;
+};
+
+/// Fixed-capacity trace; recording stops silently once full (the cap keeps
+/// worst-case memory bounded even for 10^8-slot runs).
+class SlotTrace {
+ public:
+  /// `capacity` is the maximum number of entries retained.
+  explicit SlotTrace(std::size_t capacity);
+
+  void record(std::uint64_t slot, SlotOutcome outcome,
+              std::uint64_t transmitters);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  bool truncated() const { return truncated_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  bool truncated_ = false;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace ucr

@@ -1,0 +1,18 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace ucr::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "ucr " << kind << " violated: (" << expr << ") at " << file << ":"
+     << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ucr::detail

@@ -1,0 +1,45 @@
+// Lightweight contract checking for the ucr library.
+//
+// UCR_CHECK / UCR_REQUIRE are always-on (release builds included): the
+// simulation engines are the measurement instrument of this reproduction,
+// so silent state corruption is worse than the nanoseconds these cost.
+// Violations throw ucr::ContractViolation with file:line context so that
+// tests can assert on misuse of public APIs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ucr {
+
+/// Thrown when a UCR_REQUIRE (precondition) or UCR_CHECK (invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace ucr
+
+/// Precondition on arguments of a public API. Throws ContractViolation.
+#define UCR_REQUIRE(expr, message)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ucr::detail::contract_failure("precondition", #expr, __FILE__,    \
+                                      __LINE__, (message));               \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant. Throws ContractViolation.
+#define UCR_CHECK(expr, message)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ucr::detail::contract_failure("invariant", #expr, __FILE__,       \
+                                      __LINE__, (message));               \
+    }                                                                     \
+  } while (false)

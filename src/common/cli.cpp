@@ -1,0 +1,65 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& allowed_keys) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    const std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    UCR_REQUIRE(std::find(allowed_keys.begin(), allowed_keys.end(), key) !=
+                    allowed_keys.end(),
+                "unknown option --" + key);
+    values_[key] = value;
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& key, std::uint64_t def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace ucr

@@ -1,0 +1,42 @@
+// Tiny command-line / environment configuration helper for harness binaries.
+//
+// All reproduction harnesses accept the same style of overrides:
+//   ./fig1_makespan --kmax=1000000 --runs=10 --seed=42
+// and equivalently via environment (UCR_KMAX, UCR_RUNS, UCR_SEED), with the
+// command line taking precedence. Unknown --flags are rejected so typos in
+// experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ucr {
+
+/// Parsed `--key=value` options plus positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv; throws ContractViolation on malformed `--key` without '='
+  /// unless the flag is boolean-style (then value is "1").
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed_keys);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Environment lookup with default (uses std::getenv).
+std::uint64_t env_u64(const char* name, std::uint64_t def);
+double env_double(const char* name, double def);
+
+}  // namespace ucr

@@ -1,0 +1,26 @@
+// Minimal CSV writer (RFC 4180 quoting) used by harnesses to emit series
+// that can be re-plotted (Figure 1 of the paper is a log-log plot).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ucr {
+
+/// Streaming CSV writer; quotes fields containing separators/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Does not take ownership of `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quotes a single cell per RFC 4180 if needed (exposed for tests).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace ucr

@@ -1,0 +1,72 @@
+#include "common/mathx.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+double log2x(double x) {
+  UCR_REQUIRE(x > 0.0, "log2x requires a positive argument");
+  return std::log2(x);
+}
+
+double lnx(double x) {
+  UCR_REQUIRE(x > 0.0, "lnx requires a positive argument");
+  return std::log(x);
+}
+
+int floor_log2_u64(std::uint64_t v) {
+  UCR_REQUIRE(v >= 1, "floor_log2_u64 requires v >= 1");
+  return 63 - __builtin_clzll(v);
+}
+
+int ceil_log2_u64(std::uint64_t v) {
+  UCR_REQUIRE(v >= 1, "ceil_log2_u64 requires v >= 1");
+  const int f = floor_log2_u64(v);
+  return ((std::uint64_t{1} << f) == v) ? f : f + 1;
+}
+
+double pow_one_minus(double p, double m) {
+  UCR_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  UCR_REQUIRE(m >= 0.0, "exponent must be non-negative");
+  if (p == 0.0 || m == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;
+  return std::exp(m * std::log1p(-p));
+}
+
+double prob_silence(std::uint64_t m, double p) {
+  return pow_one_minus(p, static_cast<double>(m));
+}
+
+double prob_success(std::uint64_t m, double p) {
+  UCR_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  if (m == 0 || p == 0.0) return 0.0;
+  if (p == 1.0) return m == 1 ? 1.0 : 0.0;
+  const double md = static_cast<double>(m);
+  return md * p * std::exp((md - 1.0) * std::log1p(-p));
+}
+
+double loglog2_clamped(double x, double floor_value) {
+  UCR_REQUIRE(floor_value > 0.0, "clamp floor must be positive");
+  if (x <= 2.0) return floor_value;  // lg lg x undefined/<=0 below 4.
+  const double ll = std::log2(std::log2(x));
+  return ll < floor_value ? floor_value : ll;
+}
+
+std::uint64_t to_u64_saturating(double x) {
+  if (!(x > 0.0)) return 0;
+  if (x >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(x);
+}
+
+bool is_power_of_ten(std::uint64_t k) {
+  if (k == 0) return false;
+  while (k % 10 == 0) k /= 10;
+  return k == 1;
+}
+
+}  // namespace ucr

@@ -1,0 +1,45 @@
+// Small numeric helpers shared across the library.
+//
+// Naming note: `mathx` avoids clashing with <math.h>. Everything here is
+// deterministic, allocation-free and safe on the boundary values the
+// protocols produce (m up to 10^7, probabilities down to ~1e-8).
+#pragma once
+
+#include <cstdint>
+
+namespace ucr {
+
+/// Base-2 logarithm (the paper's `log` is log2 throughout).
+double log2x(double x);
+
+/// Natural logarithm wrapper (kept for symmetric naming in formulas).
+double lnx(double x);
+
+/// floor(log2(v)) for v >= 1.
+int floor_log2_u64(std::uint64_t v);
+
+/// ceil(log2(v)) for v >= 1.
+int ceil_log2_u64(std::uint64_t v);
+
+/// (1-p)^m computed stably via exp(m*log1p(-p)); requires 0 <= p <= 1, m >= 0.
+double pow_one_minus(double p, double m);
+
+/// P[Binomial(m,p) = 0] — probability of a silent slot with m stations
+/// transmitting independently with probability p.
+double prob_silence(std::uint64_t m, double p);
+
+/// P[Binomial(m,p) = 1] — probability of a successful slot.
+double prob_success(std::uint64_t m, double p);
+
+/// lg lg x clamped below at `floor_value` (> 0). The LogLog-Iterated
+/// Back-off schedule needs lg lg w for small w where it is <= 0.
+double loglog2_clamped(double x, double floor_value);
+
+/// Saturating conversion double -> uint64 (negative -> 0).
+std::uint64_t to_u64_saturating(double x);
+
+/// Exact k from "10^i"-style sweep helper: returns true when `k` is a power
+/// of ten (used by the Table 1 harness to label rows like the paper).
+bool is_power_of_ten(std::uint64_t k);
+
+}  // namespace ucr

@@ -1,0 +1,50 @@
+// Exact discrete samplers used by the aggregate simulation engine.
+//
+// The fair-protocol engine replaces per-station coin flips with draws of the
+// *number of transmitters* in a slot. Two regimes:
+//
+//  * slot-probability protocols only need the category {0, 1, >=2}, sampled
+//    in O(1) from the closed-form probabilities (see sample_slot_category);
+//  * window protocols need the exact transmitter count, i.e. a true
+//    Binomial(n, p) sample for n up to 10^7 and arbitrary p.
+//
+// Binomial sampling is implemented from scratch (std::binomial_distribution
+// is not reproducible across standard libraries):
+//  * inversion (CDF walk) when n*min(p,1-p) < 12 — expected O(np) work;
+//  * BTRS, Hörmann's transformed-rejection algorithm with squeeze
+//    ("The generation of binomial random variates", W. Hörmann, 1993),
+//    otherwise — exact, O(1) expected work.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ucr {
+
+/// Outcome category of a slot where m stations transmit independently
+/// with probability p each (matches channel::SlotOutcome semantics).
+enum class SlotCategory : std::uint8_t { kSilence = 0, kSuccess = 1, kCollision = 2 };
+
+/// Draws the category of Binomial(m, p) in O(1): 0 -> silence,
+/// 1 -> success, >=2 -> collision.
+SlotCategory sample_slot_category(Xoshiro256& rng, std::uint64_t m, double p);
+
+/// Exact Binomial(n, p) sample. Requires 0 <= p <= 1.
+std::uint64_t sample_binomial(Xoshiro256& rng, std::uint64_t n, double p);
+
+/// Exact Poisson(lambda) sample (inversion for small lambda, split-and-sum
+/// recursion for large lambda). Used by the dynamic-arrival workload.
+std::uint64_t sample_poisson(Xoshiro256& rng, double lambda);
+
+namespace detail {
+/// Inversion sampler; exposed for targeted unit tests. Requires
+/// n * min(p, 1-p) small enough that (1-p)^n does not underflow.
+std::uint64_t binomial_inversion(Xoshiro256& rng, std::uint64_t n, double p);
+
+/// BTRS transformed-rejection sampler; exposed for targeted unit tests.
+/// Requires p <= 0.5 and n*p >= 10.
+std::uint64_t binomial_btrs(Xoshiro256& rng, std::uint64_t n, double p);
+}  // namespace detail
+
+}  // namespace ucr

@@ -1,0 +1,46 @@
+// Column-aligned plain-text tables for the benchmark harnesses.
+//
+// The paper's Table 1 and the per-figure series are reported on stdout in a
+// format meant to be diffed against EXPERIMENTS.md, so formatting lives in
+// the library rather than in each harness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ucr {
+
+/// Simple right-aligned text table. Usage:
+///   Table t({"k", "steps", "ratio"});
+///   t.add_row({"10", "40", "4.0"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header separator; columns sized to the widest cell.
+  void print(std::ostream& os) const;
+
+  /// Renders the whole table to a string (testing convenience).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting helper: `format_double(3.14159, 2) == "3.14"`.
+std::string format_double(double v, int decimals);
+
+/// Engineering formatting for slot counts: integers below 10^15, otherwise
+/// scientific with three significant digits.
+std::string format_count(double v);
+
+}  // namespace ucr

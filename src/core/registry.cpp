@@ -1,0 +1,45 @@
+#include "core/registry.hpp"
+
+#include "core/exp_backon_backoff.hpp"
+#include "core/one_fail_adaptive.hpp"
+#include "protocols/exp_backoff.hpp"
+#include "protocols/known_k.hpp"
+#include "protocols/log_fails_adaptive.hpp"
+#include "protocols/loglog_backoff.hpp"
+
+namespace ucr {
+
+std::vector<ProtocolFactory> paper_protocols() {
+  std::vector<ProtocolFactory> protocols;
+
+  LogFailsParams lfa2;
+  lfa2.xi_t = 0.5;
+  protocols.push_back(make_log_fails_factory(lfa2, "Log-Fails Adaptive (2)"));
+
+  LogFailsParams lfa10;
+  lfa10.xi_t = 0.1;
+  protocols.push_back(make_log_fails_factory(lfa10, "Log-Fails Adaptive (10)"));
+
+  protocols.push_back(make_one_fail_factory(OneFailParams{2.72}));
+  protocols.push_back(make_exp_backon_factory(ExpBackonParams{0.366}));
+  protocols.push_back(make_loglog_factory(LogLogParams{2.0}));
+  return protocols;
+}
+
+std::vector<ProtocolFactory> extra_protocols() {
+  std::vector<ProtocolFactory> protocols;
+  protocols.push_back(
+      make_exp_backoff_factory(ExpBackoffParams{2.0}, "Exponential Back-off (r=2)"));
+  protocols.push_back(make_known_k_factory());
+  return protocols;
+}
+
+std::vector<ProtocolFactory> all_protocols() {
+  std::vector<ProtocolFactory> protocols = paper_protocols();
+  for (auto& p : extra_protocols()) {
+    protocols.push_back(std::move(p));
+  }
+  return protocols;
+}
+
+}  // namespace ucr

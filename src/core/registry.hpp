@@ -1,0 +1,23 @@
+// Registry of the protocol configurations used by the paper's evaluation
+// (Section 5) plus the extra ablation baselines of this repository.
+#pragma once
+
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// The five curves of Figure 1 / rows of Table 1, in the paper's order:
+/// Log-Fails Adaptive (xi_t = 1/2), Log-Fails Adaptive (xi_t = 1/10),
+/// One-Fail Adaptive (delta = 2.72), Exp Back-on/Back-off (delta = 0.366),
+/// LogLog-Iterated Back-off (r = 2).
+std::vector<ProtocolFactory> paper_protocols();
+
+/// Extra baselines: r-exponential back-off (r = 2) and the known-k genie.
+std::vector<ProtocolFactory> extra_protocols();
+
+/// paper_protocols() followed by extra_protocols().
+std::vector<ProtocolFactory> all_protocols();
+
+}  // namespace ucr

@@ -1,0 +1,43 @@
+// r-exponential back-off — the classic monotone strategy (windows r^i),
+// provided as an ablation baseline. The paper cites [2]'s result that for
+// batched arrivals it is Theta(k · log k / loglog k)-ish (superlinear),
+// i.e. provably worse than the sawtooth and adaptive strategies; the
+// monotone_backoff bench shows exactly this gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/protocol.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// Tunables of r-exponential back-off.
+struct ExpBackoffParams {
+  /// Window growth factor (binary exponential back-off is r = 2).
+  double r = 2.0;
+
+  void validate() const;
+};
+
+/// The monotone exponential window generator: windows r, r^2, r^3, ...
+class ExponentialBackoff final : public WindowSchedule {
+ public:
+  explicit ExponentialBackoff(const ExpBackoffParams& params = {});
+
+  std::uint64_t next_window_slots() override;
+
+  double window_real() const { return w_; }
+
+ private:
+  ExpBackoffParams params_;
+  double w_;
+};
+
+/// Bundles schedule + per-node views for the experiment runner.
+ProtocolFactory make_exp_backoff_factory(const ExpBackoffParams& params = {},
+                                         std::string name = "");
+
+}  // namespace ucr

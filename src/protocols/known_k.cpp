@@ -1,0 +1,50 @@
+#include "protocols/known_k.hpp"
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+KnownKGenie::KnownKGenie(std::uint64_t k) : remaining_(k) {
+  UCR_REQUIRE(k > 0, "genie needs a positive k");
+}
+
+double KnownKGenie::transmit_probability() const {
+  UCR_CHECK(remaining_ > 0, "probability requested after completion");
+  return 1.0 / static_cast<double>(remaining_);
+}
+
+void KnownKGenie::on_slot_end(bool delivery) {
+  if (delivery) {
+    UCR_CHECK(remaining_ > 0, "delivery after completion");
+    --remaining_;
+  }
+}
+
+KnownKGenieNode::KnownKGenieNode(std::uint64_t k) : remaining_(k) {
+  UCR_REQUIRE(k > 0, "genie needs a positive k");
+}
+
+double KnownKGenieNode::transmit_probability() {
+  UCR_CHECK(remaining_ > 0, "probability requested after completion");
+  return 1.0 / static_cast<double>(remaining_);
+}
+
+void KnownKGenieNode::on_slot_end(const Feedback& fb) {
+  if (fb.delivered_mine) return;  // engine deactivates this station
+  if (fb.heard_delivery) {
+    UCR_CHECK(remaining_ > 0, "heard a delivery after completion");
+    --remaining_;
+  }
+}
+
+ProtocolFactory make_known_k_factory(std::string name) {
+  ProtocolFactory f;
+  f.name = std::move(name);
+  f.fair_slot = [](std::uint64_t k) { return std::make_unique<KnownKGenie>(k); };
+  f.node = [](std::uint64_t k, Xoshiro256&) {
+    return std::make_unique<KnownKGenieNode>(k);
+  };
+  return f;
+}
+
+}  // namespace ucr

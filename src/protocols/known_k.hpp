@@ -1,0 +1,50 @@
+// Known-k genie — a fair protocol that transmits with probability 1/kappa
+// where kappa is the *true* number of still-active stations (it knows k and
+// counts deliveries, which are common knowledge).
+//
+// Not a contender (it uses information the problem denies); it realizes the
+// remark in Section 5 of the paper that "the smallest ratio expected by any
+// algorithm in which nodes use the same probability at any step is e", and
+// serves as the optimum reference line in the benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/protocol.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// Fair-engine view of the genie.
+class KnownKGenie final : public FairSlotProtocol {
+ public:
+  explicit KnownKGenie(std::uint64_t k);
+
+  double transmit_probability() const override;
+  void on_slot_end(bool delivery) override;
+
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::uint64_t remaining_;
+};
+
+/// Per-node view (each station tracks k minus the deliveries it heard and
+/// whether its own message is still pending).
+class KnownKGenieNode final : public NodeProtocol {
+ public:
+  explicit KnownKGenieNode(std::uint64_t k);
+
+  double transmit_probability() override;
+  void on_slot_end(const Feedback& fb) override;
+
+ private:
+  std::uint64_t remaining_;
+};
+
+/// Factory for the experiment runner.
+ProtocolFactory make_known_k_factory(std::string name = "Known-k genie (1/k)");
+
+}  // namespace ucr

@@ -1,0 +1,43 @@
+// Polynomial back-on — monotone windows w_i = round(i^c), the "polynomial
+// back-on" family the paper's introduction mentions alongside exponential
+// back-off. For batched arrivals its makespan is superlinear but milder
+// than exponential back-off's; it completes the monotone-strategy ablation
+// (bench/monotone_backoff).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/protocol.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// Tunables of polynomial back-on.
+struct PolyBackoffParams {
+  /// Window growth exponent: window i has round(i^c) slots. Must be > 0.
+  double c = 2.0;
+
+  void validate() const;
+};
+
+/// The monotone polynomial window generator: 1, 2^c, 3^c, ...
+class PolynomialBackoff final : public WindowSchedule {
+ public:
+  explicit PolynomialBackoff(const PolyBackoffParams& params = {});
+
+  std::uint64_t next_window_slots() override;
+
+  std::uint64_t window_index() const { return i_; }
+
+ private:
+  PolyBackoffParams params_;
+  std::uint64_t i_ = 0;
+};
+
+/// Bundles schedule + per-node views for the experiment runner.
+ProtocolFactory make_poly_backoff_factory(
+    const PolyBackoffParams& params = {}, std::string name = "");
+
+}  // namespace ucr

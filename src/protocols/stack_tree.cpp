@@ -1,0 +1,92 @@
+#include "protocols/stack_tree.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/samplers.hpp"
+
+namespace ucr {
+
+RunMetrics run_stack_tree(std::uint64_t k, Xoshiro256& rng,
+                          const EngineOptions& options) {
+  UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  RunMetrics metrics;
+  metrics.k = k;
+  const std::uint64_t cap = options.resolved_cap(k);
+
+  // stack.back() is the level-0 (transmitting) group.
+  std::vector<std::uint64_t> stack{k};
+  while (metrics.deliveries < k && metrics.slots < cap) {
+    const std::uint64_t group = stack.back();
+    metrics.transmissions += group;
+    metrics.expected_transmissions += static_cast<double>(group);
+    if (group == 0) {
+      ++metrics.silence_slots;
+      stack.pop_back();
+    } else if (group == 1) {
+      ++metrics.success_slots;
+      ++metrics.deliveries;
+      if (options.record_deliveries) {
+        metrics.delivery_slots.push_back(metrics.slots);
+      }
+      stack.pop_back();
+    } else {
+      ++metrics.collision_slots;
+      const std::uint64_t stay = sample_binomial(rng, group, 0.5);
+      stack.back() = group - stay;  // pushed to the new level 1
+      stack.push_back(stay);        // new level 0
+    }
+    ++metrics.slots;
+    if (stack.empty()) {
+      // All groups resolved; if messages remain the protocol restarts with
+      // the remaining stations as one fresh group (cannot happen in the
+      // batched case, where deliveries == k exactly when the stack empties,
+      // but keeps the loop total for any cap interleaving).
+      UCR_CHECK(metrics.deliveries == k,
+                "stack drained before all messages were delivered");
+      break;
+    }
+  }
+
+  metrics.completed = metrics.deliveries == k;
+  metrics.validate();
+  return metrics;
+}
+
+StackTreeNode::StackTreeNode(Xoshiro256& rng) : rng_(&rng) {}
+
+double StackTreeNode::transmit_probability() {
+  return level_ == 0 ? 1.0 : 0.0;
+}
+
+void StackTreeNode::on_slot_end(const Feedback& fb) {
+  if (fb.delivered_mine) return;  // engine deactivates this station
+
+  if (fb.heard_collision) {
+    if (fb.transmitted) {
+      // Split: stay at level 0 with probability 1/2, else drop to level 1.
+      if (!rng_->next_bernoulli(0.5)) {
+        level_ = 1;
+      }
+    } else {
+      ++level_;  // the split is pushed under us
+    }
+    return;
+  }
+
+  if (fb.transmitted) {
+    // We transmitted and did not succeed: without heard_collision this can
+    // only mean the engine runs the no-CD model, which cannot drive this
+    // protocol.
+    UCR_CHECK(false,
+              "StackTreeNode requires EngineOptions::collision_detection");
+  }
+
+  // Success (someone else's) or silence: pop one level.
+  UCR_CHECK(level_ > 0,
+            "a level-0 station must have transmitted in a non-collision "
+            "slot it did not win");
+  --level_;
+}
+
+}  // namespace ucr

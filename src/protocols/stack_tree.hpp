@@ -1,0 +1,59 @@
+// Randomized stack (tree-splitting) algorithm — the classic contention
+// resolution technique of Capetanakis / Hayes / Tsybakov-Mikhailov that the
+// paper's related-work section contrasts against. It REQUIRES collision
+// detection, which the paper's model denies; it is provided here as the
+// reference point for how much that capability buys (see the
+// cd_comparison bench).
+//
+// Protocol (blocked access, batched arrivals, no IDs, no knowledge of k):
+// every active station keeps a stack level, initially 0. In each slot the
+// level-0 stations transmit.
+//  * collision  -> each level-0 station flips a fair coin: heads stay at
+//                  level 0, tails move to level 1; every other station's
+//                  level increases by 1 (the split is pushed).
+//  * success or silence -> the level-0 group is exhausted: every station's
+//                  level decreases by 1 (pop).
+// A station leaves on delivering its message. Expected makespan for a
+// batch of k is ~2.89k - Theta(1) (throughput ~0.346), linear like the
+// paper's protocols but with a better constant — the price the paper's
+// no-CD model pays is roughly a factor 2.5.
+//
+// Two implementations, cross-validated by tests:
+//  * run_stack_tree      — exact aggregate simulation on the stack of
+//                          group SIZES (binomial splits), O(1) per slot;
+//  * StackTreeNode       — per-station NodeProtocol using only legal CD
+//                          feedback, for the node engine with
+//                          EngineOptions::collision_detection = true.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+
+namespace ucr {
+
+/// Exact aggregate simulation of the stack algorithm on a batch of k.
+RunMetrics run_stack_tree(std::uint64_t k, Xoshiro256& rng,
+                          const EngineOptions& options);
+
+/// Per-station view; requires an engine run with collision detection
+/// (throws on the first collision slot otherwise, because the protocol
+/// cannot be driven by the paper's no-CD feedback).
+class StackTreeNode final : public NodeProtocol {
+ public:
+  /// `rng` must outlive the node (used for the split coin flips).
+  explicit StackTreeNode(Xoshiro256& rng);
+
+  double transmit_probability() override;
+  void on_slot_end(const Feedback& fb) override;
+
+  std::uint64_t level() const { return level_; }
+
+ private:
+  Xoshiro256* rng_;
+  std::uint64_t level_ = 0;
+};
+
+}  // namespace ucr

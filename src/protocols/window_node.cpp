@@ -1,0 +1,28 @@
+#include "protocols/window_node.hpp"
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+WindowNodeProtocol::WindowNodeProtocol(std::unique_ptr<WindowSchedule> schedule)
+    : schedule_(std::move(schedule)) {
+  UCR_REQUIRE(schedule_ != nullptr, "window adapter needs a schedule");
+}
+
+double WindowNodeProtocol::transmit_probability() {
+  if (offset_ == window_) {  // window exhausted (or first call): fetch next
+    window_ = schedule_->next_window_slots();
+    UCR_CHECK(window_ >= 1, "window schedule produced an empty window");
+    offset_ = 0;
+    sent_this_window_ = false;
+  }
+  if (sent_this_window_) return 0.0;
+  return 1.0 / static_cast<double>(window_ - offset_);
+}
+
+void WindowNodeProtocol::on_slot_end(const Feedback& fb) {
+  if (fb.transmitted) sent_this_window_ = true;
+  ++offset_;
+}
+
+}  // namespace ucr

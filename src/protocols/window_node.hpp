@@ -1,0 +1,38 @@
+// Adapter that turns any WindowSchedule into a per-station NodeProtocol.
+//
+// A station picks one uniformly random slot per window. Expressed as a
+// per-slot hazard so the per-node engine's single Bernoulli per station per
+// slot suffices: at offset j of a W-slot window, a station that has not yet
+// transmitted in this window transmits with probability 1/(W - j). By the
+// chain rule this makes every offset equally likely (probability 1/W) and
+// guarantees exactly one transmission per window (the hazard reaches 1 at
+// the last offset).
+#pragma once
+
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace ucr {
+
+/// Per-station view of a contention-window protocol.
+class WindowNodeProtocol final : public NodeProtocol {
+ public:
+  /// Takes ownership of this station's schedule generator. Schedules are
+  /// deterministic, so stations activated at the same slot stay in lockstep.
+  explicit WindowNodeProtocol(std::unique_ptr<WindowSchedule> schedule);
+
+  double transmit_probability() override;
+  void on_slot_end(const Feedback& fb) override;
+
+  std::uint64_t current_window() const { return window_; }
+  std::uint64_t window_offset() const { return offset_; }
+
+ private:
+  std::unique_ptr<WindowSchedule> schedule_;
+  std::uint64_t window_ = 0;  // 0 = fetch the first window lazily
+  std::uint64_t offset_ = 0;
+  bool sent_this_window_ = false;
+};
+
+}  // namespace ucr

@@ -1,0 +1,42 @@
+#include "sim/arrival.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+ArrivalPattern batched_arrivals(std::uint64_t k) {
+  return ArrivalPattern(k, 0);
+}
+
+ArrivalPattern poisson_arrivals(std::uint64_t k, double lambda,
+                                Xoshiro256& rng) {
+  UCR_REQUIRE(lambda > 0.0, "arrival rate must be positive");
+  ArrivalPattern arrivals;
+  arrivals.reserve(k);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    // Exponential inter-arrival with mean 1/lambda slots.
+    const double u = rng.next_double();
+    t += -std::log1p(-u) / lambda;
+    arrivals.push_back(static_cast<std::uint64_t>(t));
+  }
+  return arrivals;
+}
+
+ArrivalPattern burst_arrivals(std::uint64_t bursts, std::uint64_t burst_size,
+                              std::uint64_t gap) {
+  UCR_REQUIRE(bursts > 0 && burst_size > 0, "empty burst workload");
+  ArrivalPattern arrivals;
+  arrivals.reserve(bursts * burst_size);
+  for (std::uint64_t b = 0; b < bursts; ++b) {
+    const std::uint64_t at = b * gap;
+    for (std::uint64_t i = 0; i < burst_size; ++i) {
+      arrivals.push_back(at);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace ucr

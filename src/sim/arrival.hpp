@@ -1,0 +1,35 @@
+// Message-arrival workloads.
+//
+// The paper's evaluation is entirely *static* (batched) k-selection: all k
+// messages arrive at slot 0. The dynamic models are provided for the
+// future-work study the paper proposes in Section 6 (message arrivals at
+// different times, statistical or adversarial).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ucr {
+
+/// A concrete workload: arrival_slot[i] is the slot at whose beginning
+/// station i is activated with one message. Always sorted non-decreasing.
+using ArrivalPattern = std::vector<std::uint64_t>;
+
+/// All k messages arrive simultaneously at slot 0 (the paper's setting).
+ArrivalPattern batched_arrivals(std::uint64_t k);
+
+/// k messages with exponential inter-arrival times of rate `lambda`
+/// (expected `lambda` messages per slot, Poisson process discretized to
+/// slot granularity).
+ArrivalPattern poisson_arrivals(std::uint64_t k, double lambda,
+                                Xoshiro256& rng);
+
+/// Adversarial bursts: `bursts` batches of `burst_size` messages, separated
+/// by `gap` silent slots — the bursty worst-case pattern cited by the paper
+/// ([11, 17]) as the motivation for batched analysis.
+ArrivalPattern burst_arrivals(std::uint64_t bursts, std::uint64_t burst_size,
+                              std::uint64_t gap);
+
+}  // namespace ucr

@@ -1,0 +1,121 @@
+#include "sim/fair_engine.hpp"
+
+#include "common/check.hpp"
+#include "common/samplers.hpp"
+#include "sim/observer.hpp"
+
+namespace ucr {
+
+RunMetrics run_fair_slot_engine(FairSlotProtocol& protocol, std::uint64_t k,
+                                Xoshiro256& rng,
+                                const EngineOptions& options) {
+  UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  RunMetrics metrics;
+  metrics.k = k;
+  const std::uint64_t cap = options.resolved_cap(k);
+
+  std::uint64_t m = k;  // active stations
+  while (m > 0 && metrics.slots < cap) {
+    const double p = protocol.transmit_probability();
+    UCR_CHECK(p >= 0.0 && p <= 1.0,
+              "protocol produced a probability outside [0, 1]");
+    const SlotCategory cat = sample_slot_category(rng, m, p);
+    metrics.expected_transmissions += static_cast<double>(m) * p;
+
+    bool delivery = false;
+    SlotOutcome outcome = SlotOutcome::kSilence;
+    switch (cat) {
+      case SlotCategory::kSilence:
+        ++metrics.silence_slots;
+        break;
+      case SlotCategory::kSuccess:
+        ++metrics.success_slots;
+        ++metrics.deliveries;
+        --m;
+        delivery = true;
+        outcome = SlotOutcome::kSuccess;
+        if (options.record_deliveries) {
+          metrics.delivery_slots.push_back(metrics.slots);
+        }
+        break;
+      case SlotCategory::kCollision:
+        ++metrics.collision_slots;
+        outcome = SlotOutcome::kCollision;
+        break;
+    }
+    if (options.observer != nullptr) {
+      options.observer->on_slot(
+          SlotView{metrics.slots, m + (delivery ? 1 : 0), p, outcome});
+    }
+    ++metrics.slots;
+    protocol.on_slot_end(delivery);
+  }
+
+  metrics.completed = m == 0;
+  metrics.validate();
+  return metrics;
+}
+
+RunMetrics run_fair_window_engine(WindowSchedule& schedule, std::uint64_t k,
+                                  Xoshiro256& rng,
+                                  const EngineOptions& options) {
+  UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  RunMetrics metrics;
+  metrics.k = k;
+  const std::uint64_t cap = options.resolved_cap(k);
+
+  std::uint64_t m = k;  // active stations
+  while (m > 0 && metrics.slots < cap) {
+    const std::uint64_t window = schedule.next_window_slots();
+    UCR_CHECK(window >= 1, "window schedule produced an empty window");
+
+    std::uint64_t pending = m;  // stations yet to transmit in this window
+    for (std::uint64_t j = 0; j < window && metrics.slots < cap; ++j) {
+      if (m == 0) break;  // problem solved; the makespan stops here
+      if (pending == 0) {
+        // Everyone already transmitted: the rest of the window is silent,
+        // but it still elapses (later deliveries happen after it).
+        const std::uint64_t rest = window - j;
+        const std::uint64_t take =
+            rest < cap - metrics.slots ? rest : cap - metrics.slots;
+        metrics.slots += take;
+        metrics.silence_slots += take;
+        break;
+      }
+      const double hazard = 1.0 / static_cast<double>(window - j);
+      const std::uint64_t t = sample_binomial(rng, pending, hazard);
+      pending -= t;
+      metrics.transmissions += t;
+      metrics.expected_transmissions +=
+          static_cast<double>(pending + t) * hazard;
+      SlotOutcome outcome;
+      if (t == 0) {
+        ++metrics.silence_slots;
+        outcome = SlotOutcome::kSilence;
+      } else if (t == 1) {
+        ++metrics.success_slots;
+        ++metrics.deliveries;
+        --m;
+        if (options.record_deliveries) {
+          metrics.delivery_slots.push_back(metrics.slots);
+        }
+        outcome = SlotOutcome::kSuccess;
+      } else {
+        ++metrics.collision_slots;
+        outcome = SlotOutcome::kCollision;
+      }
+      if (options.observer != nullptr) {
+        options.observer->on_slot(SlotView{
+            metrics.slots, m + (outcome == SlotOutcome::kSuccess ? 1 : 0),
+            hazard, outcome});
+      }
+      ++metrics.slots;
+    }
+  }
+
+  metrics.completed = m == 0;
+  metrics.validate();
+  return metrics;
+}
+
+}  // namespace ucr

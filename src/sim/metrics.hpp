@@ -1,0 +1,66 @@
+// Per-run measurement record produced by the simulation engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ucr {
+
+class SlotObserver;  // sim/observer.hpp
+
+/// Everything measured in one simulated execution.
+struct RunMetrics {
+  /// True iff all k messages were delivered before the slot cap.
+  bool completed = false;
+  /// Number of messages in the batch (the paper's k).
+  std::uint64_t k = 0;
+  /// Makespan: slots elapsed up to and including the last delivery (or the
+  /// cap, if not completed). This is the paper's "steps" measure.
+  std::uint64_t slots = 0;
+  std::uint64_t deliveries = 0;
+
+  std::uint64_t silence_slots = 0;
+  std::uint64_t success_slots = 0;
+  std::uint64_t collision_slots = 0;
+
+  /// Exact transmission count when the engine knows it (node engine and the
+  /// window engine); 0 otherwise.
+  std::uint64_t transmissions = 0;
+  /// Expected transmission count (sum of m*p over slots); filled by the
+  /// O(1)-categorical fair engine where exact counts are not sampled.
+  double expected_transmissions = 0.0;
+
+  /// Slot index of each delivery, in order (only when
+  /// EngineOptions::record_deliveries is set).
+  std::vector<std::uint64_t> delivery_slots;
+
+  /// Makespan normalized by k — the paper's Table 1 quantity.
+  double ratio() const;
+
+  /// Internal consistency: outcome counts sum to slots, deliveries match
+  /// success slots, deliveries == k iff completed. Throws on violation.
+  void validate() const;
+};
+
+/// Engine knobs shared by all engines.
+struct EngineOptions {
+  /// Hard slot cap; a run that does not finish is returned with
+  /// completed == false (never an infinite loop). 0 means "default cap"
+  /// of 10^6 + 100000 * k slots, far above any protocol bound in the repo.
+  std::uint64_t max_slots = 0;
+  /// Record the slot index of every delivery (costs O(k) memory).
+  bool record_deliveries = false;
+  /// Channel-model extension: stations can distinguish collision from
+  /// silence (Feedback::heard_collision). The paper's model — and every
+  /// protocol it evaluates — uses false; the CD baselines (stack/tree
+  /// algorithms) require true.
+  bool collision_detection = false;
+  /// Optional per-slot hook (fair engines only); not owned, may be null.
+  /// See sim/observer.hpp.
+  SlotObserver* observer = nullptr;
+
+  /// Resolves the cap for a given k.
+  std::uint64_t resolved_cap(std::uint64_t k) const;
+};
+
+}  // namespace ucr

@@ -1,0 +1,103 @@
+#include "sim/node_engine.hpp"
+
+#include <algorithm>
+
+#include "channel/channel.hpp"
+#include "common/check.hpp"
+
+namespace ucr {
+
+namespace {
+
+struct Station {
+  std::unique_ptr<NodeProtocol> protocol;
+  std::uint64_t arrival_slot = 0;
+  bool transmitted_this_slot = false;
+};
+
+}  // namespace
+
+RunMetrics run_node_engine(const NodeFactory& factory,
+                           const ArrivalPattern& arrivals, Xoshiro256& rng,
+                           const EngineOptions& options,
+                           LatencyMetrics* latency) {
+  UCR_REQUIRE(std::is_sorted(arrivals.begin(), arrivals.end()),
+              "arrival pattern must be sorted");
+  const std::uint64_t k = arrivals.size();
+  UCR_REQUIRE(k > 0, "workload must contain at least one message");
+
+  RunMetrics metrics;
+  metrics.k = k;
+  const std::uint64_t cap = options.resolved_cap(k);
+
+  Channel channel;
+  std::vector<Station> active;
+  active.reserve(std::min<std::uint64_t>(k, 1u << 20));
+  std::size_t next_arrival = 0;
+
+  std::uint64_t last_delivery_slot = 0;
+  while (metrics.deliveries < k && channel.now() < cap) {
+    const std::uint64_t now = channel.now();
+
+    // Activate stations whose message arrives at this slot.
+    while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
+      active.push_back(Station{factory(rng), arrivals[next_arrival], false});
+      ++next_arrival;
+    }
+
+    // Transmission decisions.
+    std::uint64_t transmitters = 0;
+    for (auto& st : active) {
+      const double p = st.protocol->transmit_probability();
+      UCR_CHECK(p >= 0.0 && p <= 1.0,
+                "protocol produced a probability outside [0, 1]");
+      st.transmitted_this_slot = rng.next_bernoulli(p);
+      transmitters += st.transmitted_this_slot ? 1 : 0;
+    }
+
+    const SlotOutcome outcome = channel.resolve(transmitters);
+
+    // Feedback + deactivation of the successful transmitter.
+    std::size_t delivered_index = active.size();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      auto& st = active[i];
+      const Feedback fb = make_feedback(outcome, st.transmitted_this_slot,
+                                        options.collision_detection);
+      st.protocol->on_slot_end(fb);
+      if (fb.delivered_mine) {
+        delivered_index = i;
+      }
+    }
+    if (outcome == SlotOutcome::kSuccess) {
+      UCR_CHECK(delivered_index < active.size(),
+                "success slot without an identified transmitter");
+      ++metrics.deliveries;
+      last_delivery_slot = now;
+      if (options.record_deliveries) {
+        metrics.delivery_slots.push_back(now);
+      }
+      if (latency != nullptr) {
+        latency->latencies.push_back(
+            now - active[delivered_index].arrival_slot + 1);
+      }
+      // Swap-remove; station order is irrelevant to the model.
+      std::swap(active[delivered_index], active.back());
+      active.pop_back();
+    }
+  }
+
+  metrics.completed = metrics.deliveries == k;
+  // Makespan is measured to the last delivery for completed runs (trailing
+  // empty slots cannot occur: the loop exits right after the k-th delivery).
+  metrics.slots = metrics.completed ? last_delivery_slot + 1 : cap;
+  const ChannelCounters& c = channel.counters();
+  metrics.silence_slots = c.silence;
+  metrics.success_slots = c.success;
+  metrics.collision_slots = c.collision;
+  metrics.transmissions = c.transmissions;
+  metrics.expected_transmissions = static_cast<double>(c.transmissions);
+  metrics.validate();
+  return metrics;
+}
+
+}  // namespace ucr

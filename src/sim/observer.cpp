@@ -1,0 +1,21 @@
+#include "sim/observer.hpp"
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+DownsampledSeries::DownsampledSeries(std::uint64_t stride,
+                                     bool keep_successes)
+    : stride_(stride), keep_successes_(keep_successes) {
+  UCR_REQUIRE(stride_ >= 1, "stride must be at least 1");
+}
+
+void DownsampledSeries::on_slot(const SlotView& view) {
+  ++observed_;
+  if (view.slot % stride_ == 0 ||
+      (keep_successes_ && view.outcome == SlotOutcome::kSuccess)) {
+    series_.push_back(view);
+  }
+}
+
+}  // namespace ucr

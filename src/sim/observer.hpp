@@ -1,0 +1,54 @@
+// Slot observers: a lightweight hook that lets harnesses and examples watch
+// a run's per-slot dynamics (density m, transmission probability p, outcome)
+// without modifying the engines or the protocols.
+//
+// The fair engines invoke the observer once per resolved slot. For
+// slot-probability protocols, `probability` is the exact per-station
+// probability of that slot (so e.g. One-Fail Adaptive's estimator is
+// recoverable as kappa~ = 1/p on AT steps); for window protocols it is the
+// per-pending-station hazard 1/(W-j).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/slot.hpp"
+
+namespace ucr {
+
+/// What an observer sees about one resolved slot.
+struct SlotView {
+  std::uint64_t slot = 0;         ///< 0-based slot index
+  std::uint64_t active = 0;       ///< stations still holding a message
+  double probability = 0.0;       ///< per-station tx probability (or hazard)
+  SlotOutcome outcome = SlotOutcome::kSilence;
+};
+
+/// Interface; implementations must be cheap (called every slot).
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+  virtual void on_slot(const SlotView& view) = 0;
+};
+
+/// Retains every stride-th slot (plus every success, optionally), bounding
+/// memory for 10^8-slot runs while keeping the shape of the trajectory.
+class DownsampledSeries final : public SlotObserver {
+ public:
+  /// Records slots with index % stride == 0; if `keep_successes`, success
+  /// slots are always recorded.
+  explicit DownsampledSeries(std::uint64_t stride, bool keep_successes = false);
+
+  void on_slot(const SlotView& view) override;
+
+  const std::vector<SlotView>& series() const { return series_; }
+  std::uint64_t observed_slots() const { return observed_; }
+
+ private:
+  std::uint64_t stride_;
+  bool keep_successes_;
+  std::uint64_t observed_ = 0;
+  std::vector<SlotView> series_;
+};
+
+}  // namespace ucr

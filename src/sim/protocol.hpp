@@ -1,0 +1,63 @@
+// Protocol interfaces — the contract between contention-resolution
+// protocols and the two simulation engines.
+//
+// Three views of a protocol:
+//
+//  * NodeProtocol     — one instance per station; the ground-truth view.
+//                       Works for any protocol, including non-fair states
+//                       (dynamic arrivals). O(m) per slot.
+//  * FairSlotProtocol — one *shared* state for all active stations of a
+//                       fair slot-probability protocol (all active stations
+//                       provably hold identical state under batched
+//                       arrivals, because channel feedback is common
+//                       knowledge). O(1) per slot.
+//  * WindowSchedule   — the window-size generator of a fair contention-
+//                       window protocol (each pending station picks exactly
+//                       one uniform slot per window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "channel/slot.hpp"
+
+namespace ucr {
+
+/// Per-station protocol automaton driven by the per-node engine.
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  /// Probability with which this station transmits in the current slot.
+  /// Must be in [0, 1]. Called once per slot while the station is active.
+  virtual double transmit_probability() = 0;
+
+  /// End-of-slot feedback (legal observations only, see channel/slot.hpp).
+  /// Called once per slot while active; when `fb.delivered_mine` is true the
+  /// engine deactivates the station after this call.
+  virtual void on_slot_end(const Feedback& fb) = 0;
+};
+
+/// Shared-state automaton of a fair slot-probability protocol.
+class FairSlotProtocol {
+ public:
+  virtual ~FairSlotProtocol() = default;
+
+  /// Per-station transmission probability for the current slot, in [0, 1].
+  virtual double transmit_probability() const = 0;
+
+  /// Advances the shared state; `delivery` is true iff the slot was a
+  /// success (every remaining active station heard it).
+  virtual void on_slot_end(bool delivery) = 0;
+};
+
+/// Window-size generator of a contention-window protocol.
+class WindowSchedule {
+ public:
+  virtual ~WindowSchedule() = default;
+
+  /// Returns the length in slots (>= 1) of the next contention window.
+  virtual std::uint64_t next_window_slots() = 0;
+};
+
+}  // namespace ucr

@@ -1,0 +1,128 @@
+#include "sim/resultio.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace ucr {
+
+namespace {
+
+constexpr const char* kHeader[] = {
+    "protocol", "k",  "runs", "incomplete_runs", "mean_makespan",
+    "stddev",   "min", "max",  "mean_ratio"};
+constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+double parse_double(const std::string& cell) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  UCR_REQUIRE(end != cell.c_str() && *end == '\0',
+              "malformed numeric cell '" + cell + "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& cell) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(cell.c_str(), &end, 10);
+  UCR_REQUIRE(end != cell.c_str() && *end == '\0',
+              "malformed integer cell '" + cell + "'");
+  return v;
+}
+
+}  // namespace
+
+AggregateRow AggregateRow::from(const AggregateResult& result) {
+  AggregateRow row;
+  row.protocol = result.protocol;
+  row.k = result.k;
+  row.runs = result.runs;
+  row.incomplete_runs = result.incomplete_runs;
+  row.mean_makespan = result.makespan.mean;
+  row.stddev_makespan = result.makespan.stddev;
+  row.min_makespan = result.makespan.min;
+  row.max_makespan = result.makespan.max;
+  row.mean_ratio = result.ratio.mean;
+  return row;
+}
+
+void write_aggregate_csv(std::ostream& os,
+                         const std::vector<AggregateRow>& rows) {
+  CsvWriter writer(os);
+  writer.write_row(
+      std::vector<std::string>(kHeader, kHeader + kColumns));
+  for (const AggregateRow& r : rows) {
+    writer.write_row({r.protocol, std::to_string(r.k), std::to_string(r.runs),
+                      std::to_string(r.incomplete_runs),
+                      format_double(r.mean_makespan, 6),
+                      format_double(r.stddev_makespan, 6),
+                      format_double(r.min_makespan, 6),
+                      format_double(r.max_makespan, 6),
+                      format_double(r.mean_ratio, 6)});
+  }
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+  }
+  UCR_REQUIRE(!in_quotes, "unterminated quote in CSV line");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::vector<AggregateRow> read_aggregate_csv(std::istream& is) {
+  std::string line;
+  UCR_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "empty CSV input");
+  const auto header = parse_csv_line(line);
+  UCR_REQUIRE(header.size() == kColumns && header[0] == kHeader[0] &&
+                  header[kColumns - 1] == kHeader[kColumns - 1],
+              "unexpected CSV header");
+
+  std::vector<AggregateRow> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = parse_csv_line(line);
+    UCR_REQUIRE(cells.size() == kColumns, "wrong number of columns");
+    AggregateRow row;
+    row.protocol = cells[0];
+    row.k = parse_u64(cells[1]);
+    row.runs = parse_u64(cells[2]);
+    row.incomplete_runs = parse_u64(cells[3]);
+    row.mean_makespan = parse_double(cells[4]);
+    row.stddev_makespan = parse_double(cells[5]);
+    row.min_makespan = parse_double(cells[6]);
+    row.max_makespan = parse_double(cells[7]);
+    row.mean_ratio = parse_double(cells[8]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ucr

@@ -1,0 +1,44 @@
+// Persistence of experiment results: aggregate rows written to / read back
+// from CSV, so harness outputs can be archived, diffed against
+// EXPERIMENTS.md, and re-plotted without re-running the sweeps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// The persisted projection of an AggregateResult (one CSV row).
+struct AggregateRow {
+  std::string protocol;
+  std::uint64_t k = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t incomplete_runs = 0;
+  double mean_makespan = 0.0;
+  double stddev_makespan = 0.0;
+  double min_makespan = 0.0;
+  double max_makespan = 0.0;
+  double mean_ratio = 0.0;
+
+  /// Projects an in-memory aggregate onto its persisted row.
+  static AggregateRow from(const AggregateResult& result);
+
+  bool operator==(const AggregateRow&) const = default;
+};
+
+/// Writes a header plus one row per result.
+void write_aggregate_csv(std::ostream& os,
+                         const std::vector<AggregateRow>& rows);
+
+/// Reads rows written by write_aggregate_csv. Throws ContractViolation on
+/// malformed input (wrong header, wrong column count, non-numeric cells).
+std::vector<AggregateRow> read_aggregate_csv(std::istream& is);
+
+/// Splits one CSV line into cells, honouring RFC 4180 quoting (the inverse
+/// of CsvWriter::escape). Exposed for tests.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace ucr

@@ -1,0 +1,92 @@
+#include "sim/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace ucr {
+
+namespace {
+
+AggregateResult aggregate(std::string name, std::uint64_t k,
+                          std::vector<RunMetrics> runs) {
+  AggregateResult result;
+  result.protocol = std::move(name);
+  result.k = k;
+  result.runs = runs.size();
+  std::vector<double> makespans;
+  std::vector<double> ratios;
+  makespans.reserve(runs.size());
+  ratios.reserve(runs.size());
+  for (const RunMetrics& m : runs) {
+    if (!m.completed) ++result.incomplete_runs;
+    makespans.push_back(static_cast<double>(m.slots));
+    ratios.push_back(m.ratio());
+  }
+  result.makespan = summarize(makespans);
+  result.ratio = summarize(ratios);
+  result.details = std::move(runs);
+  return result;
+}
+
+}  // namespace
+
+AggregateResult run_fair_experiment(const ProtocolFactory& factory,
+                                    std::uint64_t k, std::uint64_t runs,
+                                    std::uint64_t seed,
+                                    const EngineOptions& options) {
+  UCR_REQUIRE(factory.has_fair(),
+              "protocol '" + factory.name + "' has no fair-engine view");
+  UCR_REQUIRE(runs > 0, "at least one run required");
+
+  std::vector<RunMetrics> all;
+  all.reserve(runs);
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    Xoshiro256 rng = Xoshiro256::stream(seed, r);
+    if (factory.fair_slot) {
+      auto protocol = factory.fair_slot(k);
+      all.push_back(run_fair_slot_engine(*protocol, k, rng, options));
+    } else {
+      auto schedule = factory.window(k);
+      all.push_back(run_fair_window_engine(*schedule, k, rng, options));
+    }
+  }
+  return aggregate(factory.name, k, std::move(all));
+}
+
+AggregateResult run_node_experiment(const ProtocolFactory& factory,
+                                    const ArrivalPattern& arrivals,
+                                    std::uint64_t runs, std::uint64_t seed,
+                                    const EngineOptions& options) {
+  UCR_REQUIRE(static_cast<bool>(factory.node),
+              "protocol '" + factory.name + "' has no per-node view");
+  UCR_REQUIRE(runs > 0, "at least one run required");
+  const std::uint64_t k = arrivals.size();
+
+  std::vector<RunMetrics> all;
+  all.reserve(runs);
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    Xoshiro256 rng = Xoshiro256::stream(seed, r);
+    const NodeFactory node_factory = [&](Xoshiro256& node_rng) {
+      return factory.node(k, node_rng);
+    };
+    all.push_back(run_node_engine(node_factory, arrivals, rng, options));
+  }
+  return aggregate(factory.name, k, std::move(all));
+}
+
+std::vector<std::uint64_t> paper_k_sweep(std::uint64_t k_max) {
+  UCR_REQUIRE(k_max >= 10, "the paper's sweep starts at k = 10");
+  std::vector<std::uint64_t> ks;
+  std::uint64_t k = 10;
+  for (;;) {
+    ks.push_back(k);
+    if (k > k_max / 10) break;  // next power of ten would exceed k_max
+    k *= 10;
+  }
+  if (ks.back() != k_max) {
+    // k_max is not a power of ten: include it as the final point.
+    ks.push_back(k_max);
+  }
+  return ks;
+}
+
+}  // namespace ucr

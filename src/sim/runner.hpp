@@ -1,0 +1,66 @@
+// Experiment runner: repeats runs with independent seeds and aggregates.
+//
+// A ProtocolFactory bundles the three engine views of one named protocol
+// configuration. Factories receive k because two of the paper's algorithms
+// are parameterized by knowledge of (a bound on) k: Log-Fails Adaptive
+// needs epsilon ~= 1/(k+1) and the known-k genie needs k itself. The
+// knowledge-free protocols simply ignore the argument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/fair_engine.hpp"
+#include "sim/node_engine.hpp"
+
+namespace ucr {
+
+/// The three engine views of one protocol configuration. Exactly one of
+/// `fair_slot` / `window` must be set (for the aggregate engine); `node`
+/// should be set whenever the per-node engine or dynamic workloads are used.
+struct ProtocolFactory {
+  std::string name;
+  std::function<std::unique_ptr<FairSlotProtocol>(std::uint64_t k)> fair_slot;
+  std::function<std::unique_ptr<WindowSchedule>(std::uint64_t k)> window;
+  std::function<std::unique_ptr<NodeProtocol>(std::uint64_t k, Xoshiro256& rng)>
+      node;
+
+  bool has_fair() const {
+    return static_cast<bool>(fair_slot) || static_cast<bool>(window);
+  }
+};
+
+/// Aggregated outcome of `runs` independent executions at one k.
+struct AggregateResult {
+  std::string protocol;
+  std::uint64_t k = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t incomplete_runs = 0;  ///< runs stopped by the slot cap
+  Summary makespan;                   ///< slots (capped value for incomplete)
+  Summary ratio;                      ///< slots / k
+  std::vector<RunMetrics> details;    ///< one entry per run
+};
+
+/// Runs `runs` executions of a fair protocol at batch size k through the
+/// aggregate engine, with run r seeded as stream(seed, r).
+AggregateResult run_fair_experiment(const ProtocolFactory& factory,
+                                    std::uint64_t k, std::uint64_t runs,
+                                    std::uint64_t seed,
+                                    const EngineOptions& options);
+
+/// Same, but through the per-node engine (any protocol with a `node`
+/// factory; arbitrary arrival pattern).
+AggregateResult run_node_experiment(const ProtocolFactory& factory,
+                                    const ArrivalPattern& arrivals,
+                                    std::uint64_t runs, std::uint64_t seed,
+                                    const EngineOptions& options);
+
+/// Standard k sweep of the paper's evaluation: powers of ten from 10 to
+/// `k_max` inclusive (k_max itself included even if not a power of ten).
+std::vector<std::uint64_t> paper_k_sweep(std::uint64_t k_max);
+
+}  // namespace ucr

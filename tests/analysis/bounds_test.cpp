@@ -1,0 +1,121 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(Bounds, FairOptimalRatioIsE) {
+  EXPECT_NEAR(fair_optimal_ratio(), 2.718281828, 1e-8);
+}
+
+TEST(Bounds, OneFailRatioMatchesTableOne) {
+  // Table 1 "Analysis" entry for One-Fail Adaptive: 2(2.72+1) = 7.44 ~ 7.4.
+  EXPECT_NEAR(one_fail_ratio(2.72), 7.44, 1e-12);
+  EXPECT_THROW(one_fail_ratio(-1.0), ContractViolation);
+}
+
+TEST(Bounds, OneFailBoundDominatedByLinearTerm) {
+  const double b = one_fail_bound(2.72, 1000000, 1.0);
+  EXPECT_GT(b, 7.44e6);
+  EXPECT_LT(b, 7.45e6);
+  EXPECT_THROW(one_fail_bound(2.72, 0, 1.0), ContractViolation);
+  EXPECT_THROW(one_fail_bound(2.72, 10, -1.0), ContractViolation);
+}
+
+TEST(Bounds, OneFailErrorIsTwoOverKPlusOne) {
+  EXPECT_DOUBLE_EQ(one_fail_error(1), 1.0);
+  EXPECT_DOUBLE_EQ(one_fail_error(999), 0.002);
+}
+
+TEST(Bounds, ExpBackonRatioMatchesTableOne) {
+  // Table 1 "Analysis" entry for Exp Back-on/Back-off: 4(1+1/0.366) = 14.93.
+  EXPECT_NEAR(exp_backon_ratio(0.366), 14.93, 0.01);
+  EXPECT_THROW(exp_backon_ratio(0.4), ContractViolation);  // >= 1/e
+  EXPECT_THROW(exp_backon_ratio(0.0), ContractViolation);
+}
+
+TEST(Bounds, ExpBackonBoundIsLinear) {
+  EXPECT_NEAR(exp_backon_bound(0.366, 1000), 14928.96, 0.5);
+}
+
+TEST(Bounds, Lemma1ThresholdGrowsWithBetaAndK) {
+  const double m1 = lemma1_min_m(0.3, 1.0, 1000);
+  const double m2 = lemma1_min_m(0.3, 2.0, 1000);
+  const double m3 = lemma1_min_m(0.3, 1.0, 1000000);
+  EXPECT_GT(m2, m1);
+  EXPECT_GT(m3, m1);
+  EXPECT_THROW(lemma1_min_m(0.5, 1.0, 1000), ContractViolation);
+  EXPECT_THROW(lemma1_min_m(0.3, 0.0, 1000), ContractViolation);
+}
+
+TEST(Bounds, Lemma1ClosedForm) {
+  // delta = 0.2, beta = 1, k = 100: (2e/(1-0.2e)^2)(1 + 1.5 ln 100).
+  const double e = std::exp(1.0);
+  const double expected = (2.0 * e / std::pow(1.0 - 0.2 * e, 2)) *
+                          (1.0 + 1.5 * std::log(100.0));
+  EXPECT_NEAR(lemma1_min_m(0.2, 1.0, 100), expected, 1e-9);
+}
+
+TEST(Bounds, TauIsLogarithmic) {
+  EXPECT_NEAR(ofa_tau(2.72, 99), 300.0 * 2.72 * std::log(100.0), 1e-9);
+  EXPECT_GT(ofa_tau(2.72, 10000), ofa_tau(2.72, 100));
+}
+
+TEST(Bounds, GammaFormula) {
+  // delta = 2.72: (1.72)(0.28)/(0.72) = 0.668888...
+  EXPECT_NEAR(ofa_gamma(2.72), 1.72 * 0.28 / 0.72, 1e-12);
+  EXPECT_THROW(ofa_gamma(2.0), ContractViolation);
+}
+
+TEST(Bounds, BigSIsGeometricSumOfTau) {
+  const double tau = ofa_tau(2.72, 1000);
+  double sum = 0.0;
+  double term = 1.0;
+  for (int j = 0; j <= 4; ++j) {
+    sum += term;
+    term *= 5.0 / 6.0;
+  }
+  EXPECT_NEAR(ofa_big_s(2.72, 1000), 2.0 * sum * tau, 1e-9);
+}
+
+TEST(Bounds, BigMIsFiniteAndLogarithmic) {
+  // ln(2.72) - 1 ~ 6.3e-4: M is huge but finite and grows with log k.
+  const double m1 = ofa_big_m(2.72, 1000);
+  const double m2 = ofa_big_m(2.72, 1000000);
+  EXPECT_GT(m1, 0.0);
+  EXPECT_GT(m2, m1);
+  EXPECT_LT(m2 / m1, 3.0);  // logarithmic growth
+  EXPECT_THROW(ofa_big_m(2.0, 1000), ContractViolation);
+}
+
+TEST(Bounds, LogFailsAnalysisRatiosMatchTableOne) {
+  EXPECT_NEAR(log_fails_analysis_ratio(0.5), 7.8, 0.05);
+  EXPECT_NEAR(log_fails_analysis_ratio(0.1), 4.4, 0.05);
+  EXPECT_THROW(log_fails_analysis_ratio(0.0), ContractViolation);
+}
+
+TEST(Bounds, LogLogShapeGrowsSlowly) {
+  const double s1 = loglog_ratio_shape(1000);
+  const double s2 = loglog_ratio_shape(10000000);
+  EXPECT_GT(s2, s1);
+  EXPECT_LT(s2, 2.0 * s1);  // sub-logarithmic growth
+  EXPECT_THROW(loglog_ratio_shape(8), ContractViolation);
+}
+
+TEST(Bounds, AnalysisCellsMatchPaper) {
+  EXPECT_EQ(analysis_cell("Log-Fails Adaptive (2)"), "7.8");
+  EXPECT_EQ(analysis_cell("Log-Fails Adaptive (10)"), "4.4");
+  EXPECT_EQ(analysis_cell("One-Fail Adaptive"), "7.4");
+  EXPECT_EQ(analysis_cell("Exp Back-on/Back-off"), "14.9");
+  EXPECT_EQ(analysis_cell("LogLog-Iterated Back-off"),
+            "Th(lglg k/lglglg k)");
+  EXPECT_EQ(analysis_cell("unknown protocol"), "-");
+}
+
+}  // namespace
+}  // namespace ucr

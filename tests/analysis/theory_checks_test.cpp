@@ -1,0 +1,203 @@
+// Numerical validation of the mathematical building blocks of the paper's
+// proofs (Facts 3-4 and the Lemma-level quantities of Appendix A).
+#include "analysis/theory_checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/samplers.hpp"
+
+namespace ucr {
+namespace {
+
+// ------------------------------------------------------------------ Fact 3
+
+class Fact3Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fact3Sweep, SandwichHolds) {
+  const double x = GetParam();
+  EXPECT_LE(fact3_lower(x), 1.0 + x);
+  EXPECT_LE(1.0 + x, fact3_upper(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(PositiveAndNegative, Fact3Sweep,
+                         ::testing::Values(-0.99, -0.5, -0.1, -0.001, 0.001,
+                                           0.1, 0.5, 0.9, 0.99));
+
+TEST(Fact3, RejectsOutOfDomain) {
+  EXPECT_THROW(fact3_lower(0.0), ContractViolation);
+  EXPECT_THROW(fact3_upper(1.0), ContractViolation);
+  EXPECT_THROW(fact3_lower(-1.5), ContractViolation);
+}
+
+// ------------------------------------------------------------------ Fact 4
+
+TEST(Fact4, NonDecreasingBelowA) {
+  // f(x) = (a/x)(1-1/x)^{a-1} non-decreasing for 1 < x < a.
+  for (const double a : {3.0, 10.0, 100.0, 1000.0}) {
+    double prev = 0.0;
+    for (double x = 1.25; x < a; x *= 1.5) {
+      const double f = fact4_f(a, x);
+      ASSERT_GE(f + 1e-12, prev) << "a=" << a << " x=" << x;
+      prev = f;
+    }
+  }
+}
+
+TEST(Fact4, MaximizedAtA) {
+  for (const double a : {5.0, 50.0, 500.0}) {
+    const double at_a = fact4_f(a, a);
+    EXPECT_GT(at_a, fact4_f(a, a * 0.5));
+    EXPECT_GT(at_a, fact4_f(a, a * 2.0));
+    EXPECT_GT(at_a, fact4_f(a, a * 0.9));
+    EXPECT_GT(at_a, fact4_f(a, a * 1.1));
+  }
+}
+
+TEST(Fact4, ValueAtAApproachesOneOverE) {
+  EXPECT_NEAR(fact4_f(10000.0, 10000.0), 1.0 / std::exp(1.0), 1e-3);
+}
+
+// ------------------------------------------- slot success probability form
+
+TEST(AtSuccessProbability, MatchesDirectComputation) {
+  // kappa = 3, kappa~ = 4: (3/4)(3/4)^2 = 27/64.
+  EXPECT_NEAR(at_success_probability(3, 4.0), 27.0 / 64.0, 1e-12);
+  EXPECT_NEAR(at_success_probability(1, 2.0), 0.5, 1e-12);
+}
+
+TEST(AtSuccessProbability, Lemma2Direction) {
+  // Lemma 2: while kappa~ < kappa, incrementing kappa~ by 1 does not
+  // decrease the success probability.
+  for (const std::uint64_t kappa : {10ULL, 100ULL, 1000ULL}) {
+    for (double kt = 2.0; kt + 1.0 < static_cast<double>(kappa); kt += 7.0) {
+      ASSERT_LE(at_success_probability(kappa, kt),
+                at_success_probability(kappa, kt + 1.0) + 1e-15)
+          << "kappa=" << kappa << " kappa~=" << kt;
+    }
+  }
+}
+
+TEST(AtSuccessProbability, MaximizedWhenEstimatorEqualsDensity) {
+  // Fact 4 instantiated: for fixed kappa the probability peaks at
+  // kappa~ = kappa.
+  for (const std::uint64_t kappa : {5ULL, 50ULL, 500ULL}) {
+    const double kd = static_cast<double>(kappa);
+    const double peak = at_success_probability(kappa, kd);
+    EXPECT_GT(peak, at_success_probability(kappa, kd / 2.0));
+    EXPECT_GT(peak, at_success_probability(kappa, kd * 2.0));
+  }
+}
+
+TEST(AtSuccessProbability, Lemma3Direction) {
+  // Lemma 3's core comparison (2) >= (3): after a delivery (kappa down 1)
+  // and the corresponding estimator reduction by delta - 1, the success
+  // probability does not increase, provided the estimator tracked from
+  // below. Checked numerically over a grid.
+  const double delta = 2.72;
+  for (const std::uint64_t kappa : {100ULL, 1000ULL}) {
+    const double kd = static_cast<double>(kappa);
+    for (double kt = 10.0; kt <= kd; kt += kd / 8.0) {
+      const double before = at_success_probability(kappa, kt);
+      const double after =
+          at_success_probability(kappa - 1, kt - delta + 1.0);
+      ASSERT_GE(before + 1e-12, after)
+          << "kappa=" << kappa << " kappa~=" << kt;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Lemma 1
+
+TEST(Lemma1FailureBound, ClampedToOneForSmallM) {
+  EXPECT_DOUBLE_EQ(lemma1_failure_bound(10, 0.366), 1.0);
+}
+
+TEST(Lemma1FailureBound, VanishesForLargeM) {
+  const double b = lemma1_failure_bound(1000000, 0.3);
+  EXPECT_LT(b, 1e-6);
+  EXPECT_GT(lemma1_failure_bound(1000, 0.3), b);
+}
+
+TEST(Lemma1FailureBound, DominatesEmpiricalFailureRate) {
+  // Throw m balls into m bins repeatedly; the empirical frequency of
+  // (#singletons < delta*m) must not exceed the lemma's bound (which is
+  // far from tight; equality would be suspicious).
+  const std::uint64_t m = 2000;
+  const double delta = 0.3;
+  const double bound = lemma1_failure_bound(m, delta);
+  Xoshiro256 rng(5150);
+  const int trials = 400;
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t pending = m;
+    std::uint64_t singles = 0;
+    for (std::uint64_t j = 0; j < m && pending > 0; ++j) {
+      const std::uint64_t drawn =
+          sample_binomial(rng, pending, 1.0 / static_cast<double>(m - j));
+      if (drawn == 1) ++singles;
+      pending -= drawn;
+    }
+    if (static_cast<double>(singles) < delta * static_cast<double>(m)) {
+      ++failures;
+    }
+  }
+  EXPECT_LE(static_cast<double>(failures) / trials, bound);
+}
+
+TEST(Lemma1FailureBound, RejectsBadDelta) {
+  EXPECT_THROW(lemma1_failure_bound(100, 0.4), ContractViolation);
+  EXPECT_THROW(lemma1_failure_bound(100, 0.0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ Lemma 4
+
+TEST(Lemma4Threshold, LinearInKappa) {
+  const double delta = 2.72;
+  const double beta = 2.72;
+  const double t1 = lemma4_sigma_threshold(1000.0, 10.0, 1.0, delta, beta);
+  const double t2 = lemma4_sigma_threshold(2000.0, 10.0, 1.0, delta, beta);
+  // Doubling kappa_{r,1} roughly doubles the admissible sigma.
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST(Lemma4Threshold, LaterStepsAdmitMoreDeliveries) {
+  const double delta = 2.72;
+  const double beta = 2.72;
+  const double early = lemma4_sigma_threshold(1000.0, 10.0, 1.0, delta, beta);
+  const double late = lemma4_sigma_threshold(1000.0, 10.0, 100.0, delta, beta);
+  EXPECT_GT(late, early);
+}
+
+TEST(Lemma4Threshold, RequiresDeltaPlusOneLnBetaAboveOne) {
+  EXPECT_THROW(lemma4_sigma_threshold(10.0, 1.0, 1.0, 0.1, 1.5),
+               ContractViolation);
+  EXPECT_NO_THROW(lemma4_sigma_threshold(10.0, 1.0, 1.0, 2.72, 2.72));
+}
+
+TEST(Lemma4Threshold, GuaranteesSuccessProbability) {
+  // End-to-end: pick a round state satisfying Lemma 4's hypotheses and
+  // verify the promised Pr >= 1/beta, using the exact probability form.
+  const double delta = 2.72;
+  const double beta = 2.72;
+  const double kappa_r1 = 10000.0;
+  const double alpha = 100.0;  // kappa_{r,1} - alpha <= kappa~_{r,1}
+  const double t = 1.0;
+  const double sigma_max =
+      lemma4_sigma_threshold(kappa_r1, alpha, t, delta, beta);
+  // Take sigma at the threshold; reconstruct kappa and kappa~ per Lemma 4:
+  // kappa = kappa_{r,1} - sigma, kappa~ = kappa~_{r,1} - (delta+1)sigma + t.
+  const double sigma = std::floor(sigma_max);
+  const double kappa = kappa_r1 - sigma;
+  const double kappa_tilde = (kappa_r1 - alpha) - (delta + 1.0) * sigma + t;
+  ASSERT_GT(kappa_tilde, 1.0);
+  const double p = at_success_probability(
+      static_cast<std::uint64_t>(kappa), kappa_tilde);
+  EXPECT_GE(p, 1.0 / beta - 1e-9);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,60 @@
+#include "channel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(Channel, CountsOutcomes) {
+  Channel ch;
+  EXPECT_EQ(ch.resolve(0), SlotOutcome::kSilence);
+  EXPECT_EQ(ch.resolve(1), SlotOutcome::kSuccess);
+  EXPECT_EQ(ch.resolve(5), SlotOutcome::kCollision);
+  EXPECT_EQ(ch.resolve(1), SlotOutcome::kSuccess);
+
+  const ChannelCounters& c = ch.counters();
+  EXPECT_EQ(c.slots, 4u);
+  EXPECT_EQ(c.silence, 1u);
+  EXPECT_EQ(c.success, 2u);
+  EXPECT_EQ(c.collision, 1u);
+  EXPECT_EQ(c.transmissions, 7u);
+}
+
+TEST(Channel, NowAdvancesPerSlot) {
+  Channel ch;
+  EXPECT_EQ(ch.now(), 0u);
+  ch.resolve(0);
+  EXPECT_EQ(ch.now(), 1u);
+  ch.resolve(3);
+  EXPECT_EQ(ch.now(), 2u);
+}
+
+TEST(Channel, TraceRecordsEntries) {
+  Channel ch;
+  SlotTrace trace(10);
+  ch.attach_trace(&trace);
+  ch.resolve(0);
+  ch.resolve(2);
+  ch.resolve(1);
+
+  ASSERT_EQ(trace.entries().size(), 3u);
+  EXPECT_EQ(trace.entries()[0].slot, 0u);
+  EXPECT_EQ(trace.entries()[0].outcome, SlotOutcome::kSilence);
+  EXPECT_EQ(trace.entries()[1].transmitters, 2u);
+  EXPECT_EQ(trace.entries()[1].outcome, SlotOutcome::kCollision);
+  EXPECT_EQ(trace.entries()[2].slot, 2u);
+  EXPECT_EQ(trace.entries()[2].outcome, SlotOutcome::kSuccess);
+}
+
+TEST(Channel, DetachTrace) {
+  Channel ch;
+  SlotTrace trace(10);
+  ch.attach_trace(&trace);
+  ch.resolve(1);
+  ch.attach_trace(nullptr);
+  ch.resolve(1);
+  EXPECT_EQ(trace.entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ucr

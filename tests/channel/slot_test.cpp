@@ -1,0 +1,78 @@
+#include "channel/slot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(ResolveOutcome, TruthTable) {
+  EXPECT_EQ(resolve_outcome(0), SlotOutcome::kSilence);
+  EXPECT_EQ(resolve_outcome(1), SlotOutcome::kSuccess);
+  EXPECT_EQ(resolve_outcome(2), SlotOutcome::kCollision);
+  EXPECT_EQ(resolve_outcome(1000000), SlotOutcome::kCollision);
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(to_string(SlotOutcome::kSilence), "silence");
+  EXPECT_EQ(to_string(SlotOutcome::kSuccess), "success");
+  EXPECT_EQ(to_string(SlotOutcome::kCollision), "collision");
+}
+
+TEST(MakeFeedback, SuccessForTransmitter) {
+  const Feedback fb = make_feedback(SlotOutcome::kSuccess, true);
+  EXPECT_TRUE(fb.delivered_mine);
+  EXPECT_FALSE(fb.heard_delivery);
+  EXPECT_TRUE(fb.transmitted);
+}
+
+TEST(MakeFeedback, SuccessForListener) {
+  const Feedback fb = make_feedback(SlotOutcome::kSuccess, false);
+  EXPECT_FALSE(fb.delivered_mine);
+  EXPECT_TRUE(fb.heard_delivery);
+  EXPECT_FALSE(fb.transmitted);
+}
+
+TEST(MakeFeedback, SilenceAndCollisionIndistinguishable) {
+  // The model has no collision detection: a station that did not succeed
+  // observes exactly the same thing after a silent slot and a collision.
+  for (const bool transmitted : {false, true}) {
+    const Feedback silent = make_feedback(SlotOutcome::kSilence, transmitted);
+    const Feedback collided =
+        make_feedback(SlotOutcome::kCollision, transmitted);
+    EXPECT_EQ(silent.heard_delivery, collided.heard_delivery);
+    EXPECT_EQ(silent.delivered_mine, collided.delivered_mine);
+    EXPECT_FALSE(silent.heard_delivery);
+    EXPECT_FALSE(silent.delivered_mine);
+  }
+}
+
+TEST(MakeFeedback, CollisionParticipantLearnsNothingButOwnAction) {
+  const Feedback fb = make_feedback(SlotOutcome::kCollision, true);
+  EXPECT_TRUE(fb.transmitted);
+  EXPECT_FALSE(fb.delivered_mine);
+  EXPECT_FALSE(fb.heard_delivery);
+  EXPECT_FALSE(fb.heard_collision);  // the paper's model: no CD
+}
+
+TEST(MakeFeedback, CollisionDetectionModeFlagsCollisions) {
+  const Feedback fb =
+      make_feedback(SlotOutcome::kCollision, false, /*collision_detection=*/true);
+  EXPECT_TRUE(fb.heard_collision);
+  EXPECT_FALSE(fb.heard_delivery);
+  const Feedback participant =
+      make_feedback(SlotOutcome::kCollision, true, true);
+  EXPECT_TRUE(participant.heard_collision);
+  EXPECT_TRUE(participant.transmitted);
+}
+
+TEST(MakeFeedback, CollisionDetectionDoesNotChangeSilenceOrSuccess) {
+  const Feedback silent = make_feedback(SlotOutcome::kSilence, false, true);
+  EXPECT_FALSE(silent.heard_collision);
+  EXPECT_FALSE(silent.heard_delivery);
+  const Feedback success = make_feedback(SlotOutcome::kSuccess, false, true);
+  EXPECT_FALSE(success.heard_collision);
+  EXPECT_TRUE(success.heard_delivery);
+}
+
+}  // namespace
+}  // namespace ucr

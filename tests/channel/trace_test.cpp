@@ -1,0 +1,42 @@
+#include "channel/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(SlotTrace, StartsEmpty) {
+  SlotTrace trace(4);
+  EXPECT_TRUE(trace.entries().empty());
+  EXPECT_FALSE(trace.truncated());
+  EXPECT_EQ(trace.capacity(), 4u);
+}
+
+TEST(SlotTrace, RecordsUpToCapacity) {
+  SlotTrace trace(2);
+  trace.record(0, SlotOutcome::kSilence, 0);
+  trace.record(1, SlotOutcome::kSuccess, 1);
+  EXPECT_EQ(trace.entries().size(), 2u);
+  EXPECT_FALSE(trace.truncated());
+}
+
+TEST(SlotTrace, TruncatesSilentlyBeyondCapacity) {
+  SlotTrace trace(2);
+  trace.record(0, SlotOutcome::kSilence, 0);
+  trace.record(1, SlotOutcome::kSuccess, 1);
+  trace.record(2, SlotOutcome::kCollision, 3);
+  EXPECT_EQ(trace.entries().size(), 2u);
+  EXPECT_TRUE(trace.truncated());
+  // The retained entries are the earliest ones.
+  EXPECT_EQ(trace.entries()[1].slot, 1u);
+}
+
+TEST(SlotTrace, ZeroCapacityRecordsNothing) {
+  SlotTrace trace(0);
+  trace.record(0, SlotOutcome::kSuccess, 1);
+  EXPECT_TRUE(trace.entries().empty());
+  EXPECT_TRUE(trace.truncated());
+}
+
+}  // namespace
+}  // namespace ucr

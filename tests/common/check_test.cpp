@@ -1,0 +1,48 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ucr {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(UCR_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsOnFalse) {
+  EXPECT_THROW(UCR_REQUIRE(false, "boom"), ContractViolation);
+}
+
+TEST(Check, CheckThrowsOnFalse) {
+  EXPECT_THROW(UCR_CHECK(false, "boom"), ContractViolation);
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    UCR_REQUIRE(false, "custom-message");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom-message"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Check, InvariantKindIsLabeled) {
+  try {
+    UCR_CHECK(false, "");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Check, ContractViolationIsLogicError) {
+  EXPECT_THROW(UCR_CHECK(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv,
+              const std::vector<std::string>& allowed) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(full.size()), full.data(), allowed);
+}
+
+TEST(CliArgs, ParsesKeyValue) {
+  const auto args = parse({"--k=100", "--seed=7"}, {"k", "seed"});
+  EXPECT_EQ(args.get_u64("k", 0), 100u);
+  EXPECT_EQ(args.get_u64("seed", 0), 7u);
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = parse({}, {"k"});
+  EXPECT_EQ(args.get_u64("k", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("k", 2.5), 2.5);
+  EXPECT_TRUE(args.get_bool("k", true));
+  EXPECT_FALSE(args.get("k").has_value());
+}
+
+TEST(CliArgs, BooleanFlagWithoutValue) {
+  const auto args = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, BoolSpellings) {
+  EXPECT_TRUE(parse({"--x=true"}, {"x"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}, {"x"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}, {"x"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}, {"x"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=0"}, {"x"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}, {"x"}).get_bool("x", true));
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = parse({"--delta=0.366"}, {"delta"});
+  EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), 0.366);
+}
+
+TEST(CliArgs, RejectsUnknownKey) {
+  EXPECT_THROW(parse({"--oops=1"}, {"k"}), ContractViolation);
+}
+
+TEST(CliArgs, PositionalArgumentsCollected) {
+  const auto args = parse({"file1", "--k=3", "file2"}, {"k"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(CliArgs, LastValueWins) {
+  const auto args = parse({"--k=1", "--k=2"}, {"k"});
+  EXPECT_EQ(args.get_u64("k", 0), 2u);
+}
+
+TEST(EnvHelpers, ReadAndDefault) {
+  ::setenv("UCR_TEST_ENV_U64", "123", 1);
+  EXPECT_EQ(env_u64("UCR_TEST_ENV_U64", 5), 123u);
+  ::unsetenv("UCR_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("UCR_TEST_ENV_U64", 5), 5u);
+
+  ::setenv("UCR_TEST_ENV_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("UCR_TEST_ENV_DBL", 1.0), 0.25);
+  ::unsetenv("UCR_TEST_ENV_DBL");
+  EXPECT_DOUBLE_EQ(env_double("UCR_TEST_ENV_DBL", 1.0), 1.0);
+}
+
+TEST(EnvHelpers, EmptyStringIsDefault) {
+  ::setenv("UCR_TEST_ENV_EMPTY", "", 1);
+  EXPECT_EQ(env_u64("UCR_TEST_ENV_EMPTY", 9), 9u);
+  ::unsetenv("UCR_TEST_ENV_EMPTY");
+}
+
+}  // namespace
+}  // namespace ucr

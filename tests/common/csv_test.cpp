@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ucr {
+namespace {
+
+TEST(CsvEscape, PlainPassThrough) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("3.14"), "3.14");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSeparators) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"protocol", "k", "steps"});
+  w.write_row({"One-Fail Adaptive", "10", "40"});
+  EXPECT_EQ(os.str(), "protocol,k,steps\nOne-Fail Adaptive,10,40\n");
+}
+
+TEST(CsvWriter, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(CsvWriter, QuotedCellRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "\"a,b\",c\n");
+}
+
+}  // namespace
+}  // namespace ucr

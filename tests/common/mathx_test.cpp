@@ -1,0 +1,106 @@
+#include "common/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(Log2x, KnownValues) {
+  EXPECT_DOUBLE_EQ(log2x(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(log2x(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(log2x(1024.0), 10.0);
+  EXPECT_THROW(log2x(0.0), ContractViolation);
+  EXPECT_THROW(log2x(-3.0), ContractViolation);
+}
+
+TEST(Lnx, KnownValues) {
+  EXPECT_DOUBLE_EQ(lnx(1.0), 0.0);
+  EXPECT_NEAR(lnx(std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_THROW(lnx(0.0), ContractViolation);
+}
+
+TEST(FloorLog2, PowersAndBetween) {
+  EXPECT_EQ(floor_log2_u64(1), 0);
+  EXPECT_EQ(floor_log2_u64(2), 1);
+  EXPECT_EQ(floor_log2_u64(3), 1);
+  EXPECT_EQ(floor_log2_u64(4), 2);
+  EXPECT_EQ(floor_log2_u64(1023), 9);
+  EXPECT_EQ(floor_log2_u64(1024), 10);
+  EXPECT_EQ(floor_log2_u64(~std::uint64_t{0}), 63);
+  EXPECT_THROW(floor_log2_u64(0), ContractViolation);
+}
+
+TEST(CeilLog2, PowersAndBetween) {
+  EXPECT_EQ(ceil_log2_u64(1), 0);
+  EXPECT_EQ(ceil_log2_u64(2), 1);
+  EXPECT_EQ(ceil_log2_u64(3), 2);
+  EXPECT_EQ(ceil_log2_u64(4), 2);
+  EXPECT_EQ(ceil_log2_u64(5), 3);
+  EXPECT_EQ(ceil_log2_u64(1025), 11);
+}
+
+TEST(PowOneMinus, MatchesPow) {
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(1.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.3, 0.0), 1.0);
+  EXPECT_NEAR(pow_one_minus(0.5, 10.0), std::pow(0.5, 10.0), 1e-12);
+  // Stable where naive pow would lose precision: tiny p, huge m.
+  const double v = pow_one_minus(1e-8, 1e7);
+  EXPECT_NEAR(v, std::exp(-0.1), 1e-9);
+  EXPECT_THROW(pow_one_minus(-0.1, 1.0), ContractViolation);
+  EXPECT_THROW(pow_one_minus(1.1, 1.0), ContractViolation);
+}
+
+TEST(ProbSilenceSuccess, ClosedForms) {
+  EXPECT_DOUBLE_EQ(prob_silence(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(prob_success(0, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(prob_success(1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(prob_success(2, 1.0), 0.0);
+  // m=3, p=0.5: P0 = 1/8, P1 = 3 * 0.5 * 0.25 = 3/8.
+  EXPECT_NEAR(prob_silence(3, 0.5), 0.125, 1e-12);
+  EXPECT_NEAR(prob_success(3, 0.5), 0.375, 1e-12);
+}
+
+TEST(ProbSuccess, MaximizedAtOneOverM) {
+  const std::uint64_t m = 1000;
+  const double at_opt = prob_success(m, 1.0 / 1000.0);
+  EXPECT_GT(at_opt, prob_success(m, 1.0 / 500.0));
+  EXPECT_GT(at_opt, prob_success(m, 1.0 / 2000.0));
+  EXPECT_NEAR(at_opt, 1.0 / std::exp(1.0), 1e-3);
+}
+
+TEST(LogLog2Clamped, ClampsBelowAndComputesAbove) {
+  EXPECT_DOUBLE_EQ(loglog2_clamped(2.0, 1.0), 1.0);   // lglg2 = 0 -> clamp
+  EXPECT_DOUBLE_EQ(loglog2_clamped(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(loglog2_clamped(4.0, 1.0), 1.0);   // lglg4 = 1
+  EXPECT_NEAR(loglog2_clamped(65536.0, 1.0), 4.0, 1e-12);  // lglg 2^16
+  EXPECT_NEAR(loglog2_clamped(256.0, 1.0), 3.0, 1e-12);
+  EXPECT_THROW(loglog2_clamped(8.0, 0.0), ContractViolation);
+}
+
+TEST(ToU64Saturating, Boundaries) {
+  EXPECT_EQ(to_u64_saturating(-5.0), 0u);
+  EXPECT_EQ(to_u64_saturating(0.0), 0u);
+  EXPECT_EQ(to_u64_saturating(3.9), 3u);
+  EXPECT_EQ(to_u64_saturating(1e30),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(to_u64_saturating(std::nan("")), 0u);
+}
+
+TEST(IsPowerOfTen, Classification) {
+  EXPECT_FALSE(is_power_of_ten(0));
+  EXPECT_TRUE(is_power_of_ten(1));
+  EXPECT_TRUE(is_power_of_ten(10));
+  EXPECT_TRUE(is_power_of_ten(10000000));
+  EXPECT_FALSE(is_power_of_ten(2));
+  EXPECT_FALSE(is_power_of_ten(20));
+  EXPECT_FALSE(is_power_of_ten(101));
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,172 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVectors) {
+  // Reference outputs of splitmix64 for seed 1234567 (from the public
+  // reference implementation by Vigna).
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_EQ(first, 6457827717110365317ULL);
+  EXPECT_EQ(second, 3203168211198807973ULL);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t before = state;
+  (void)splitmix64_next(state);
+  EXPECT_NE(state, before);
+}
+
+TEST(Mix64, DependsOnBothArguments) {
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+  EXPECT_NE(mix64(1, 2), mix64(2, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));  // not symmetric
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, StreamsAreDistinct) {
+  Xoshiro256 s0 = Xoshiro256::stream(7, 0);
+  Xoshiro256 s1 = Xoshiro256::stream(7, 1);
+  EXPECT_NE(s0.next_u64(), s1.next_u64());
+}
+
+TEST(Xoshiro256, StreamIsDeterministic) {
+  Xoshiro256 a = Xoshiro256::stream(7, 123);
+  Xoshiro256 b = Xoshiro256::stream(7, 123);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsOneHalf) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(8);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroThrows) {
+  Xoshiro256 rng(10);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<int>(bound), 500)
+        << "value " << v;
+  }
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+    EXPECT_FALSE(rng.next_bernoulli(-0.5));
+    EXPECT_TRUE(rng.next_bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(13);
+  const double p = 0.37;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+TEST(Xoshiro256, JumpChangesSequence) {
+  Xoshiro256 a(20);
+  Xoshiro256 b(20);
+  b.jump();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, JumpedStreamsDoNotOverlapShortly) {
+  // After a jump of 2^128 the next outputs must not collide with the
+  // original stream's first few thousand outputs.
+  Xoshiro256 a(21);
+  Xoshiro256 b(21);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 4096; ++i) first.insert(a.next_u64());
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(first.count(b.next_u64()), 0u);
+  }
+}
+
+TEST(Xoshiro256, StateNotAllZero) {
+  Xoshiro256 rng(0);  // seed 0 must still produce a usable state
+  const auto& s = rng.state();
+  EXPECT_TRUE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0);
+  EXPECT_NE(rng.next_u64(), rng.next_u64());
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(30);
+  (void)rng();  // operator() compiles and runs
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"k", "steps"});
+  t.add_row({"10", "74"});
+  t.add_row({"1000", "7432"});
+  const std::string out = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("steps"), std::string::npos);
+  EXPECT_NE(out.find("7432"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  // Right alignment: "10" must be padded to the width of "1000".
+  EXPECT_NE(out.find("  10"), std::string::npos);
+}
+
+TEST(Table, HeaderWiderThanCells) {
+  Table t({"protocol-name", "x"});
+  t.add_row({"a", "b"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("protocol-name"), std::string::npos);
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_double(0.0, 3), "0.000");
+}
+
+TEST(FormatCount, IntegersAndScientific) {
+  EXPECT_EQ(format_count(42.0), "42");
+  EXPECT_EQ(format_count(1000000.0), "1000000");
+  // Non-integer values fall back to scientific notation.
+  EXPECT_NE(format_count(3.5).find("e"), std::string::npos);
+  // Huge values fall back to scientific notation.
+  EXPECT_NE(format_count(1e18).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucr

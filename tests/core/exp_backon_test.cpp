@@ -1,0 +1,117 @@
+#include "core/exp_backon_backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(ExpBackonParams, Validation) {
+  EXPECT_NO_THROW(ExpBackonParams{0.366}.validate());
+  EXPECT_NO_THROW(ExpBackonParams{0.01}.validate());
+  EXPECT_THROW(ExpBackonParams{0.0}.validate(), ContractViolation);
+  EXPECT_THROW(ExpBackonParams{0.368}.validate(), ContractViolation);  // >1/e
+  EXPECT_THROW(ExpBackonParams{-0.1}.validate(), ContractViolation);
+}
+
+TEST(Sawtooth, FirstPhaseWindows) {
+  // Phase 1: w = 2 -> window 2; w = 2*0.634 = 1.268 -> window 2 (ceil);
+  // w = 0.804 < 1 -> phase 2 begins at w = 4.
+  ExpBackonBackoff sched(ExpBackonParams{0.366});
+  EXPECT_EQ(sched.phase(), 1u);
+  EXPECT_EQ(sched.next_window_slots(), 2u);
+  EXPECT_EQ(sched.next_window_slots(), 2u);
+  EXPECT_EQ(sched.phase(), 2u);
+  EXPECT_EQ(sched.next_window_slots(), 4u);
+}
+
+TEST(Sawtooth, WindowsShrinkWithinAPhase) {
+  ExpBackonBackoff sched(ExpBackonParams{0.2});
+  std::vector<std::uint64_t> windows;
+  std::uint64_t phase = sched.phase();
+  // Collect one full phase starting at 2^3 = 8.
+  while (sched.phase() != 4) (void)sched.next_window_slots();
+  phase = 4;
+  std::uint64_t prev = ~0ULL;
+  while (sched.phase() == phase) {
+    const std::uint64_t w = sched.next_window_slots();
+    if (sched.phase() != phase && windows.empty()) break;
+    windows.push_back(w);
+    ASSERT_LE(w, prev);
+    prev = w;
+  }
+  EXPECT_GE(windows.size(), 2u);
+  EXPECT_EQ(windows.front(), 16u);  // 2^4
+}
+
+TEST(Sawtooth, PhaseStartsDouble) {
+  ExpBackonBackoff sched(ExpBackonParams{0.366});
+  std::vector<std::uint64_t> phase_starts;
+  std::uint64_t last_phase = 0;
+  for (int i = 0; i < 200 && phase_starts.size() < 6; ++i) {
+    const std::uint64_t phase = sched.phase();
+    const std::uint64_t w = sched.next_window_slots();
+    if (phase != last_phase) {
+      phase_starts.push_back(w);
+      last_phase = phase;
+    }
+  }
+  ASSERT_GE(phase_starts.size(), 5u);
+  for (std::size_t i = 1; i < phase_starts.size(); ++i) {
+    EXPECT_EQ(phase_starts[i], 2 * phase_starts[i - 1]);
+  }
+}
+
+TEST(Sawtooth, InnerLoopLengthMatchesGeometry) {
+  // Within phase i, windows run while 2^i (1-delta)^j >= 1:
+  // j <= i * log(2)/log(1/(1-delta)) — count them for phase 5, delta=0.366.
+  ExpBackonBackoff sched(ExpBackonParams{0.366});
+  while (sched.phase() != 5) (void)sched.next_window_slots();
+  int count = 0;
+  while (sched.phase() == 5) {
+    (void)sched.next_window_slots();
+    ++count;
+  }
+  // 2^5 = 32; windows: 32*0.634^j >= 1 -> j <= log(32)/log(1/0.634) = 7.6,
+  // so j = 0..7 -> 8 windows.
+  EXPECT_EQ(count, 8);
+}
+
+TEST(Sawtooth, TotalSlotsUpToPhaseIsLinearInTopWindow) {
+  // Theorem 2's telescoping: slots up to the end of phase i are at most
+  // 2^{i+1} (1 + 1/delta) (geometric sums in both loops).
+  ExpBackonParams params{0.366};
+  ExpBackonBackoff sched(params);
+  std::uint64_t total = 0;
+  while (sched.phase() <= 14) {
+    total += sched.next_window_slots();
+  }
+  const double cap =
+      std::ldexp(1.0, 15) * (1.0 + 1.0 / params.delta) +
+      16.0 * 15.0;  // slack for per-window ceil() rounding
+  EXPECT_LT(static_cast<double>(total), cap);
+}
+
+TEST(Sawtooth, AllWindowsAtLeastOne) {
+  ExpBackonBackoff sched(ExpBackonParams{0.05});
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(sched.next_window_slots(), 1u);
+  }
+}
+
+TEST(ExpBackonFactory, ProvidesWindowAndNodeViews) {
+  const auto f = make_exp_backon_factory();
+  EXPECT_EQ(f.name, "Exp Back-on/Back-off");
+  EXPECT_TRUE(static_cast<bool>(f.window));
+  EXPECT_FALSE(static_cast<bool>(f.fair_slot));
+  EXPECT_TRUE(static_cast<bool>(f.node));
+  EXPECT_THROW(make_exp_backon_factory(ExpBackonParams{0.5}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,60 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ucr {
+namespace {
+
+TEST(Registry, PaperProtocolsMatchFigureOne) {
+  const auto protocols = paper_protocols();
+  ASSERT_EQ(protocols.size(), 5u);
+  EXPECT_EQ(protocols[0].name, "Log-Fails Adaptive (2)");
+  EXPECT_EQ(protocols[1].name, "Log-Fails Adaptive (10)");
+  EXPECT_EQ(protocols[2].name, "One-Fail Adaptive");
+  EXPECT_EQ(protocols[3].name, "Exp Back-on/Back-off");
+  EXPECT_EQ(protocols[4].name, "LogLog-Iterated Back-off");
+}
+
+TEST(Registry, EveryProtocolHasFairAndNodeViews) {
+  for (const auto& p : all_protocols()) {
+    EXPECT_TRUE(p.has_fair()) << p.name;
+    EXPECT_TRUE(static_cast<bool>(p.node)) << p.name;
+  }
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& p : all_protocols()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate: " << p.name;
+  }
+}
+
+TEST(Registry, FactoriesProduceFreshInstances) {
+  const auto protocols = paper_protocols();
+  const auto& ofa = protocols[2];
+  auto a = ofa.fair_slot(10);
+  auto b = ofa.fair_slot(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+  // Advancing one must not affect the other.
+  a->on_slot_end(false);
+  EXPECT_DOUBLE_EQ(b->transmit_probability(), 1.0 / 3.72);
+}
+
+TEST(Registry, ExtrasIncludeGenieAndExponential) {
+  const auto extras = extra_protocols();
+  ASSERT_EQ(extras.size(), 2u);
+  EXPECT_NE(extras[0].name.find("Exponential"), std::string::npos);
+  EXPECT_NE(extras[1].name.find("genie"), std::string::npos);
+}
+
+TEST(Registry, AllIsPaperPlusExtras) {
+  EXPECT_EQ(all_protocols().size(),
+            paper_protocols().size() + extra_protocols().size());
+}
+
+}  // namespace
+}  // namespace ucr

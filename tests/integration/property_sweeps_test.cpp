@@ -1,0 +1,166 @@
+// Property sweeps: parameterized invariants across the protocols' admissible
+// parameter ranges, plus an exactness check of the window engine's
+// conditional-binomial decomposition against a naive balls-in-bins throw.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "common/stats.hpp"
+#include "core/exp_backon_backoff.hpp"
+#include "core/one_fail_adaptive.hpp"
+#include "protocols/loglog_backoff.hpp"
+#include "sim/fair_engine.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+namespace {
+
+// ------------------------------------------------- OFA delta sweep property
+
+class OneFailDeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OneFailDeltaSweep, RatioEqualsAnalysisConstant) {
+  // The strongest quantitative claim of the paper's evaluation: the
+  // measured ratio equals 2(delta+1) for every admissible delta, at
+  // moderate k already.
+  const double delta = GetParam();
+  const auto factory = make_one_fail_factory(OneFailParams{delta}, "ofa");
+  const AggregateResult res = run_fair_experiment(factory, 20000, 5, 7, {});
+  ASSERT_EQ(res.incomplete_runs, 0u);
+  EXPECT_NEAR(res.ratio.mean, one_fail_ratio(delta), 0.15) << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(AdmissibleRange, OneFailDeltaSweep,
+                         ::testing::Values(2.72, 2.75, 2.8, 2.85, 2.9, 2.95,
+                                           2.99));
+
+// ------------------------------------------------ EBOBO delta sweep property
+
+class SawtoothDeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SawtoothDeltaSweep, SolvesWithinTheorem2Bound) {
+  const double delta = GetParam();
+  const auto factory =
+      make_exp_backon_factory(ExpBackonParams{delta}, "ebobo");
+  const AggregateResult res = run_fair_experiment(factory, 5000, 5, 8, {});
+  ASSERT_EQ(res.incomplete_runs, 0u);
+  EXPECT_LE(res.makespan.max, exp_backon_bound(delta, 5000)) << delta;
+}
+
+TEST_P(SawtoothDeltaSweep, ScheduleShapeInvariants) {
+  // Within any phase: windows non-increasing; across phases: starts double.
+  const double delta = GetParam();
+  ExpBackonBackoff sched(ExpBackonParams{delta});
+  std::uint64_t prev_window = ~0ULL;
+  std::uint64_t prev_phase = 1;
+  std::uint64_t prev_phase_start = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t phase = sched.phase();
+    const std::uint64_t w = sched.next_window_slots();
+    ASSERT_GE(w, 1u);
+    if (phase == prev_phase) {
+      ASSERT_LE(w, prev_window);
+    } else {
+      ASSERT_EQ(phase, prev_phase + 1);
+      if (prev_phase_start != 0) {
+        ASSERT_EQ(w, 2 * prev_phase_start);
+      }
+      prev_phase_start = w;
+      prev_phase = phase;
+    }
+    prev_window = w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AdmissibleRange, SawtoothDeltaSweep,
+                         ::testing::Values(0.05, 0.15, 0.25, 0.3, 0.35,
+                                           0.366));
+
+// ----------------------------------------- window engine exactness property
+
+// Naive ground truth: throw m labelled balls into w bins with per-ball
+// uniform choices and count singletons.
+std::uint64_t naive_singletons(Xoshiro256& rng, std::uint64_t m,
+                               std::uint64_t w) {
+  std::vector<std::uint32_t> bins(w, 0);
+  for (std::uint64_t b = 0; b < m; ++b) {
+    ++bins[rng.next_below(w)];
+  }
+  std::uint64_t singles = 0;
+  for (const auto c : bins) {
+    if (c == 1) ++singles;
+  }
+  return singles;
+}
+
+TEST(WindowEngineExactness, ConditionalBinomialMatchesNaiveThrow) {
+  // The window engine samples occupancy slot-by-slot via Binomial(pending,
+  // 1/(W-j)). Its singleton-count distribution must match the naive throw:
+  // compare mean and variance over many trials (fixed seeds, 5-sigma).
+  const std::uint64_t m = 40;
+  const std::uint64_t w = 64;
+  const int trials = 30000;
+
+  RunningStats naive;
+  Xoshiro256 rng_naive(41);
+  for (int t = 0; t < trials; ++t) {
+    naive.add(static_cast<double>(naive_singletons(rng_naive, m, w)));
+  }
+
+  class OneWindow final : public WindowSchedule {
+   public:
+    explicit OneWindow(std::uint64_t w) : w_(w) {}
+    std::uint64_t next_window_slots() override { return w_; }
+
+   private:
+    std::uint64_t w_;
+  };
+
+  RunningStats engine;
+  for (int t = 0; t < trials; ++t) {
+    OneWindow sched(w);
+    Xoshiro256 rng = Xoshiro256::stream(42, t);
+    EngineOptions opts;
+    opts.max_slots = w;  // exactly one window
+    engine.add(static_cast<double>(
+        run_fair_window_engine(sched, m, rng, opts).deliveries));
+  }
+
+  const double se = std::hypot(naive.stddev(), engine.stddev()) /
+                    std::sqrt(static_cast<double>(trials));
+  EXPECT_NEAR(engine.mean(), naive.mean(), 5.0 * se);
+  EXPECT_NEAR(engine.variance(), naive.variance(),
+              0.1 * naive.variance());
+}
+
+// --------------------------------------------------- LLIBO growth property
+
+TEST(LogLogGrowth, RatioGrowsSublogarithmically) {
+  // Theta(k lglg k / lglglg k): between k = 10^3 and k = 10^5 the measured
+  // ratio must grow, but by far less than a log factor.
+  const auto factory = make_loglog_factory();
+  const AggregateResult small = run_fair_experiment(factory, 1000, 10, 9, {});
+  const AggregateResult large =
+      run_fair_experiment(factory, 100000, 10, 9, {});
+  EXPECT_GT(large.ratio.mean, small.ratio.mean);
+  EXPECT_LT(large.ratio.mean / small.ratio.mean, 1.8);
+}
+
+// ----------------------------------------------- makespan monotonicity in k
+
+TEST(Monotonicity, MeanMakespanIncreasesWithK) {
+  for (const auto& factory :
+       {make_one_fail_factory(), make_exp_backon_factory()}) {
+    double prev = 0.0;
+    for (const std::uint64_t k : {100ULL, 1000ULL, 10000ULL}) {
+      const AggregateResult res = run_fair_experiment(factory, k, 5, 10, {});
+      ASSERT_GT(res.makespan.mean, prev) << factory.name << " k=" << k;
+      prev = res.makespan.mean;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,60 @@
+#include "protocols/exp_backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(ExpBackoffParams, Validation) {
+  EXPECT_NO_THROW(ExpBackoffParams{2.0}.validate());
+  EXPECT_NO_THROW(ExpBackoffParams{1.5}.validate());
+  EXPECT_THROW(ExpBackoffParams{1.0}.validate(), ContractViolation);
+  EXPECT_THROW(ExpBackoffParams{0.5}.validate(), ContractViolation);
+}
+
+TEST(ExpBackoffSchedule, BinaryWindows) {
+  ExponentialBackoff sched(ExpBackoffParams{2.0});
+  EXPECT_EQ(sched.next_window_slots(), 2u);
+  EXPECT_EQ(sched.next_window_slots(), 4u);
+  EXPECT_EQ(sched.next_window_slots(), 8u);
+  EXPECT_EQ(sched.next_window_slots(), 16u);
+}
+
+TEST(ExpBackoffSchedule, NonIntegerRatio) {
+  ExponentialBackoff sched(ExpBackoffParams{1.5});
+  EXPECT_EQ(sched.next_window_slots(), 2u);   // round(1.5)
+  EXPECT_EQ(sched.next_window_slots(), 2u);   // round(2.25)
+  EXPECT_EQ(sched.next_window_slots(), 3u);   // round(3.375)
+  EXPECT_EQ(sched.next_window_slots(), 5u);   // round(5.0625)
+}
+
+TEST(ExpBackoffSchedule, StrictlyGrowingForRTwo) {
+  ExponentialBackoff sched(ExpBackoffParams{2.0});
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t w = sched.next_window_slots();
+    ASSERT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(ExpBackoffSchedule, GrowsFasterThanLogLog) {
+  // After the same number of windows, exponential must dwarf loglog growth
+  // (this is why it overshoots and wastes slots).
+  ExponentialBackoff sched(ExpBackoffParams{2.0});
+  std::uint64_t w = 0;
+  for (int i = 0; i < 20; ++i) w = sched.next_window_slots();
+  EXPECT_EQ(w, 1u << 20);
+}
+
+TEST(ExpBackoffFactory, DefaultNameIncludesR) {
+  const auto f = make_exp_backoff_factory(ExpBackoffParams{2.0});
+  EXPECT_NE(f.name.find("r=2"), std::string::npos);
+  EXPECT_TRUE(static_cast<bool>(f.window));
+  EXPECT_TRUE(static_cast<bool>(f.node));
+}
+
+}  // namespace
+}  // namespace ucr

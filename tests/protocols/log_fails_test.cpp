@@ -1,0 +1,193 @@
+#include "protocols/log_fails_adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+LogFailsParams params_with(double xi_t, double epsilon = 0.0) {
+  LogFailsParams p;
+  p.xi_t = xi_t;
+  p.epsilon = epsilon;
+  return p;
+}
+
+// Feeds silent steps until `n` AT fails have accumulated.
+void feed_at_fails(LogFailsState& st, std::uint64_t n) {
+  std::uint64_t fails = 0;
+  while (fails < n) {
+    if (!st.is_bt_step()) ++fails;
+    st.advance(false);
+  }
+}
+
+TEST(LogFailsParams, Validation) {
+  EXPECT_NO_THROW(params_with(0.5).validate());
+  EXPECT_NO_THROW(params_with(0.1).validate());
+  EXPECT_THROW(params_with(0.0).validate(), ContractViolation);
+  EXPECT_THROW(params_with(0.6).validate(), ContractViolation);
+  LogFailsParams bad;
+  bad.xi_delta = 0.0;
+  EXPECT_THROW(bad.validate(), ContractViolation);
+  LogFailsParams bad2;
+  bad2.epsilon = 0.7;
+  EXPECT_THROW(bad2.validate(), ContractViolation);
+}
+
+TEST(LogFailsState, DerivesEpsilonFromK) {
+  // epsilon = 1/(k+1) = 1/101 -> BT probability 1/(1+log2(101)).
+  const LogFailsState st(params_with(0.5), 100);
+  EXPECT_NEAR(st.bt_probability(), 1.0 / (1.0 + std::log2(101.0)), 1e-12);
+}
+
+TEST(LogFailsState, ExplicitEpsilonWins) {
+  const LogFailsState st(params_with(0.5, 1.0 / 17.0), 100);
+  EXPECT_NEAR(st.bt_probability(), 1.0 / (1.0 + std::log2(17.0)), 1e-12);
+}
+
+TEST(LogFailsState, BtPeriodFromXiT) {
+  EXPECT_EQ(LogFailsState(params_with(0.5), 10).bt_period(), 2u);
+  EXPECT_EQ(LogFailsState(params_with(0.1), 10).bt_period(), 10u);
+}
+
+TEST(LogFailsState, BtStepsOccurAtPeriod) {
+  LogFailsState st(params_with(0.5), 10);
+  // Steps are 1-based: step 1 AT, step 2 BT, step 3 AT, ...
+  EXPECT_FALSE(st.is_bt_step());
+  st.advance(false);
+  EXPECT_TRUE(st.is_bt_step());
+  st.advance(false);
+  EXPECT_FALSE(st.is_bt_step());
+}
+
+TEST(LogFailsState, ThresholdsScaleWithLogAndLogSquared) {
+  const LogFailsState st(params_with(0.5), 100);
+  const double ln101 = std::log(101.0);
+  // F_s = ceil(10 ln^2(101)), F_t = ceil(10 ln(101)).
+  EXPECT_EQ(st.search_threshold(),
+            static_cast<std::uint64_t>(std::ceil(10.0 * ln101 * ln101)));
+  EXPECT_EQ(st.track_threshold(),
+            static_cast<std::uint64_t>(std::ceil(10.0 * ln101)));
+  EXPECT_GT(st.search_threshold(), st.track_threshold());
+}
+
+TEST(LogFailsState, StartsInSearchPhaseWithSearchThreshold) {
+  LogFailsState st(params_with(0.5), 100);
+  EXPECT_TRUE(st.in_search_phase());
+  EXPECT_EQ(st.fail_threshold(), st.search_threshold());
+}
+
+TEST(LogFailsState, SearchClimbsMultiplicatively) {
+  LogFailsState st(params_with(0.5), 100);
+  const double kappa0 = st.kappa_estimate();
+  feed_at_fails(st, st.search_threshold());
+  EXPECT_NEAR(st.kappa_estimate(), kappa0 * 1.1, 1e-9);
+  EXPECT_EQ(st.fail_count(), 0u);  // counter resets after an update
+  EXPECT_TRUE(st.in_search_phase());
+}
+
+TEST(LogFailsState, FirstDeliverySwitchesToTracking) {
+  LogFailsState st(params_with(0.5), 100);
+  st.advance(true);
+  EXPECT_FALSE(st.in_search_phase());
+  EXPECT_EQ(st.fail_threshold(), st.track_threshold());
+}
+
+TEST(LogFailsState, TrackingAddsFailBatch) {
+  LogFailsState st(params_with(0.5), 100);
+  // Climb a few times so the estimator is well above the floor, then
+  // switch to tracking.
+  feed_at_fails(st, 40 * st.search_threshold());
+  st.advance(true);
+  const double after_delivery = st.kappa_estimate();
+  const std::uint64_t f = st.track_threshold();
+  feed_at_fails(st, f);
+  EXPECT_NEAR(st.kappa_estimate(), after_delivery + static_cast<double>(f),
+              1e-9);
+}
+
+TEST(LogFailsState, BtStepsDoNotCountAsFails) {
+  LogFailsState st(params_with(0.5), 100);
+  EXPECT_FALSE(st.is_bt_step());
+  st.advance(false);  // AT fail
+  EXPECT_EQ(st.fail_count(), 1u);
+  EXPECT_TRUE(st.is_bt_step());
+  st.advance(false);  // silent BT: not a fail
+  EXPECT_EQ(st.fail_count(), 1u);
+}
+
+TEST(LogFailsState, DeliveryLowersEstimatorByE) {
+  LogFailsState st(params_with(0.5), 100);
+  feed_at_fails(st, 40 * st.search_threshold());
+  const double climbed = st.kappa_estimate();
+  ASSERT_GT(climbed, 10.0);
+  st.advance(true);
+  EXPECT_NEAR(st.kappa_estimate(),
+              std::max(climbed - LogFailsState::track_decrease(),
+                       LogFailsState::kKappaFloor),
+              1e-9);
+}
+
+TEST(LogFailsState, DeliveryDoesNotResetFailCounter) {
+  // Fails accumulate cumulatively in the TRACK phase (this is what lets the
+  // estimator keep pace with the density; see DESIGN.md §5.1).
+  LogFailsState st(params_with(0.5), 100);
+  st.advance(true);  // enter tracking
+  st.advance(false);  // step 2: BT, not a fail
+  st.advance(false);  // step 3: AT fail
+  EXPECT_EQ(st.fail_count(), 1u);
+  st.advance(true);  // delivery
+  EXPECT_EQ(st.fail_count(), 1u);
+}
+
+TEST(LogFailsState, EstimatorNeverBelowFloor) {
+  LogFailsState st(params_with(0.5), 100);
+  for (int i = 0; i < 50; ++i) st.advance(true);
+  EXPECT_DOUBLE_EQ(st.kappa_estimate(), LogFailsState::kKappaFloor);
+  EXPECT_LE(st.transmit_probability(), 0.5);
+}
+
+TEST(LogFailsState, ProbabilitiesAreValid) {
+  LogFailsState st(params_with(0.1), 1000);
+  for (int i = 0; i < 5000; ++i) {
+    const double p = st.transmit_probability();
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    st.advance(i % 7 == 0);
+  }
+}
+
+TEST(LogFailsFactory, DefaultNameEncodesXiT) {
+  EXPECT_EQ(make_log_fails_factory(params_with(0.5)).name,
+            "Log-Fails Adaptive (2)");
+  EXPECT_EQ(make_log_fails_factory(params_with(0.1)).name,
+            "Log-Fails Adaptive (10)");
+}
+
+TEST(LogFailsFactory, ProvidesBothViews) {
+  const auto f = make_log_fails_factory(params_with(0.5));
+  EXPECT_TRUE(f.has_fair());
+  EXPECT_TRUE(static_cast<bool>(f.node));
+  Xoshiro256 rng(1);
+  auto fair = f.fair_slot(100);
+  auto node = f.node(100, rng);
+  EXPECT_NE(fair, nullptr);
+  EXPECT_NE(node, nullptr);
+}
+
+TEST(LogFailsNode, StopsOnOwnDelivery) {
+  LogFailsAdaptiveNode node(params_with(0.5), 100);
+  Feedback fb;
+  fb.delivered_mine = true;
+  node.on_slot_end(fb);
+  // State frozen: still step 1, still searching.
+  EXPECT_TRUE(node.state().in_search_phase());
+  EXPECT_EQ(node.state().fail_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ucr

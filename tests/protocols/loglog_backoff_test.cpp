@@ -1,0 +1,81 @@
+#include "protocols/loglog_backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(LogLogParams, Validation) {
+  EXPECT_NO_THROW(LogLogParams{2.0}.validate());
+  EXPECT_NO_THROW(LogLogParams{4.0}.validate());
+  EXPECT_THROW(LogLogParams{1.5}.validate(), ContractViolation);
+  EXPECT_THROW(LogLogParams{0.0}.validate(), ContractViolation);
+}
+
+TEST(LogLogSchedule, FirstWindowsForRTwo) {
+  LogLogIteratedBackoff sched(LogLogParams{2.0});
+  // w=2 (lglg clamped to 1 -> factor 2), w=4 (lglg4=1 -> factor 2), w=8...
+  EXPECT_EQ(sched.next_window_slots(), 2u);
+  EXPECT_EQ(sched.next_window_slots(), 4u);
+  EXPECT_EQ(sched.next_window_slots(), 8u);
+  // lglg8 = log2(3) ~ 1.585 -> w = 8 * (1 + 1/1.585) ~ 13.05
+  EXPECT_EQ(sched.next_window_slots(), 13u);
+}
+
+TEST(LogLogSchedule, MonotoneNonDecreasing) {
+  LogLogIteratedBackoff sched(LogLogParams{2.0});
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t w = sched.next_window_slots();
+    ASSERT_GE(w, prev) << "window " << i;
+    prev = w;
+  }
+}
+
+TEST(LogLogSchedule, GrowthSlowsDown) {
+  // The growth ratio approaches 1 as w grows (factor 1 + 1/lglg w).
+  LogLogIteratedBackoff sched(LogLogParams{2.0});
+  std::uint64_t prev = sched.next_window_slots();
+  double early_ratio = 0.0;
+  double late_ratio = 0.0;
+  for (int i = 1; i < 50; ++i) {
+    const std::uint64_t w = sched.next_window_slots();
+    const double ratio = static_cast<double>(w) / static_cast<double>(prev);
+    if (i == 2) early_ratio = ratio;
+    if (i == 49) late_ratio = ratio;
+    prev = w;
+  }
+  EXPECT_GT(early_ratio, late_ratio);
+  EXPECT_GT(late_ratio, 1.0);
+}
+
+TEST(LogLogSchedule, ReachesLargeWindowsInPolylogWindows) {
+  // Growing from 2 to >= 10^6 must take O(lg k * lglg k) windows — ~120ish,
+  // certainly under 400 (this is what makes the makespan near-linear).
+  LogLogIteratedBackoff sched(LogLogParams{2.0});
+  int windows = 0;
+  while (sched.next_window_slots() < 1000000) {
+    ++windows;
+    ASSERT_LT(windows, 400);
+  }
+  EXPECT_GT(windows, 20);
+}
+
+TEST(LogLogSchedule, LargerRStartsLarger) {
+  LogLogIteratedBackoff sched(LogLogParams{8.0});
+  EXPECT_EQ(sched.next_window_slots(), 8u);
+}
+
+TEST(LogLogFactory, ProvidesWindowAndNodeViews) {
+  const auto f = make_loglog_factory();
+  EXPECT_EQ(f.name, "LogLog-Iterated Back-off");
+  EXPECT_TRUE(f.has_fair());
+  EXPECT_TRUE(static_cast<bool>(f.window));
+  EXPECT_FALSE(static_cast<bool>(f.fair_slot));
+  EXPECT_TRUE(static_cast<bool>(f.node));
+}
+
+}  // namespace
+}  // namespace ucr

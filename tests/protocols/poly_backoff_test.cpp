@@ -1,0 +1,67 @@
+#include "protocols/poly_backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(PolyBackoffParams, Validation) {
+  EXPECT_NO_THROW(PolyBackoffParams{2.0}.validate());
+  EXPECT_NO_THROW(PolyBackoffParams{0.5}.validate());
+  EXPECT_THROW(PolyBackoffParams{0.0}.validate(), ContractViolation);
+  EXPECT_THROW(PolyBackoffParams{-1.0}.validate(), ContractViolation);
+}
+
+TEST(PolyBackoffSchedule, QuadraticWindows) {
+  PolynomialBackoff sched(PolyBackoffParams{2.0});
+  EXPECT_EQ(sched.next_window_slots(), 1u);
+  EXPECT_EQ(sched.next_window_slots(), 4u);
+  EXPECT_EQ(sched.next_window_slots(), 9u);
+  EXPECT_EQ(sched.next_window_slots(), 16u);
+}
+
+TEST(PolyBackoffSchedule, SublinearExponentStillPositive) {
+  PolynomialBackoff sched(PolyBackoffParams{0.5});
+  EXPECT_EQ(sched.next_window_slots(), 1u);  // 1^0.5
+  EXPECT_EQ(sched.next_window_slots(), 1u);  // round(1.41)
+  EXPECT_EQ(sched.next_window_slots(), 2u);  // round(1.73)
+}
+
+TEST(PolyBackoffSchedule, MonotoneForCAboveOne) {
+  PolynomialBackoff sched(PolyBackoffParams{1.5});
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t w = sched.next_window_slots();
+    ASSERT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PolyBackoff, SolvesBatch) {
+  const auto factory = make_poly_backoff_factory(PolyBackoffParams{2.0});
+  const AggregateResult res = run_fair_experiment(factory, 500, 5, 42, {});
+  EXPECT_EQ(res.incomplete_runs, 0u);
+}
+
+TEST(PolyBackoff, RatioGrowsSuperlinearly) {
+  // Monotone polynomial back-on has a superlinear batched makespan: the
+  // ratio steps/k must grow markedly with k (measured ~5.2 at k=200 vs
+  // ~10 at k=20000), unlike the paper's flat-ratio sawtooth.
+  const auto poly = make_poly_backoff_factory(PolyBackoffParams{2.0});
+  const AggregateResult small = run_fair_experiment(poly, 200, 5, 43, {});
+  const AggregateResult large = run_fair_experiment(poly, 20000, 5, 43, {});
+  EXPECT_GT(large.ratio.mean, small.ratio.mean + 2.0);
+}
+
+TEST(PolyBackoffFactory, NameIncludesExponent) {
+  const auto f = make_poly_backoff_factory(PolyBackoffParams{2.0});
+  EXPECT_NE(f.name.find("c=2"), std::string::npos);
+  EXPECT_TRUE(static_cast<bool>(f.window));
+  EXPECT_TRUE(static_cast<bool>(f.node));
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,153 @@
+#include "protocols/stack_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "sim/node_engine.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(StackTreeAggregate, SingleMessageOneSlot) {
+  Xoshiro256 rng(1);
+  const RunMetrics m = run_stack_tree(1, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.slots, 1u);
+  EXPECT_EQ(m.success_slots, 1u);
+}
+
+TEST(StackTreeAggregate, TwoMessagesResolve) {
+  Xoshiro256 rng(2);
+  const RunMetrics m = run_stack_tree(2, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.deliveries, 2u);
+  // First slot must be a collision (both at level 0).
+  EXPECT_GE(m.collision_slots, 1u);
+}
+
+TEST(StackTreeAggregate, SolvesLargeBatches) {
+  Xoshiro256 rng(3);
+  const RunMetrics m = run_stack_tree(100000, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.deliveries, 100000u);
+}
+
+TEST(StackTreeAggregate, ThroughputMatchesTheory) {
+  // Classic result: the binary tree algorithm resolves a batch of k in
+  // ~2.885k slots in expectation (throughput ~0.3466).
+  RunningStats ratios;
+  for (int t = 0; t < 30; ++t) {
+    Xoshiro256 rng = Xoshiro256::stream(4, t);
+    const RunMetrics m = run_stack_tree(2000, rng, {});
+    ratios.add(m.ratio());
+  }
+  EXPECT_NEAR(ratios.mean(), 2.885, 0.1);
+}
+
+TEST(StackTreeAggregate, RejectsZeroK) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(run_stack_tree(0, rng, {}), ContractViolation);
+}
+
+TEST(StackTreeAggregate, RespectsCap) {
+  Xoshiro256 rng(6);
+  EngineOptions opts;
+  opts.max_slots = 10;
+  const RunMetrics m = run_stack_tree(10000, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.slots, 10u);
+}
+
+TEST(StackTreeNode, LevelDynamics) {
+  Xoshiro256 rng(7);
+  StackTreeNode node(rng);
+  EXPECT_EQ(node.level(), 0u);
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0);
+
+  // Collision while not transmitting: pushed one level down.
+  Feedback fb;
+  fb.heard_collision = true;
+  fb.transmitted = false;
+  StackTreeNode waiting(rng);
+  // Move `waiting` off level 0 first: it transmitted into a collision and
+  // lost the coin flip eventually; instead drive the deterministic path:
+  waiting.on_slot_end(fb);  // spectator of a collision -> level 1
+  EXPECT_EQ(waiting.level(), 1u);
+  EXPECT_DOUBLE_EQ(waiting.transmit_probability(), 0.0);
+
+  // Someone else's success: pop back to level 0.
+  Feedback heard;
+  heard.heard_delivery = true;
+  waiting.on_slot_end(heard);
+  EXPECT_EQ(waiting.level(), 0u);
+}
+
+TEST(StackTreeNode, CollisionSplitIsFairCoin) {
+  Xoshiro256 rng(8);
+  int stayed = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    StackTreeNode node(rng);
+    Feedback fb;
+    fb.heard_collision = true;
+    fb.transmitted = true;
+    node.on_slot_end(fb);
+    if (node.level() == 0) ++stayed;
+  }
+  EXPECT_NEAR(static_cast<double>(stayed) / trials, 0.5, 0.02);
+}
+
+TEST(StackTreeNode, ThrowsWithoutCollisionDetection) {
+  Xoshiro256 rng(9);
+  const NodeFactory factory = [](Xoshiro256& r) {
+    return std::make_unique<StackTreeNode>(r);
+  };
+  EngineOptions opts;  // collision_detection defaults to false
+  opts.max_slots = 100;
+  EXPECT_THROW(run_node_engine(factory, batched_arrivals(3), rng, opts),
+               ContractViolation);
+}
+
+TEST(StackTreeNode, NodeEngineWithCdSolves) {
+  Xoshiro256 rng(10);
+  const NodeFactory factory = [](Xoshiro256& r) {
+    return std::make_unique<StackTreeNode>(r);
+  };
+  EngineOptions opts;
+  opts.collision_detection = true;
+  const RunMetrics m =
+      run_node_engine(factory, batched_arrivals(64), rng, opts);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.deliveries, 64u);
+}
+
+TEST(StackTreeCrossValidation, AggregateMatchesNodeEngine) {
+  // The aggregate stack simulation and the per-node CD protocol must agree
+  // in distribution; compare mean makespans over many runs.
+  const std::uint64_t k = 64;
+  const int runs = 150;
+  RunningStats agg, node;
+  for (int t = 0; t < runs; ++t) {
+    Xoshiro256 rng_a = Xoshiro256::stream(11, t);
+    agg.add(static_cast<double>(run_stack_tree(k, rng_a, {}).slots));
+
+    Xoshiro256 rng_n = Xoshiro256::stream(12, t);
+    const NodeFactory factory = [](Xoshiro256& r) {
+      return std::make_unique<StackTreeNode>(r);
+    };
+    EngineOptions opts;
+    opts.collision_detection = true;
+    node.add(static_cast<double>(
+        run_node_engine(factory, batched_arrivals(k), rng_n, opts).slots));
+  }
+  const double se = std::hypot(agg.stddev(), node.stddev()) /
+                    std::sqrt(static_cast<double>(runs));
+  EXPECT_NEAR(agg.mean(), node.mean(), 4.0 * se + 0.02 * agg.mean());
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,104 @@
+#include "protocols/window_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ucr {
+namespace {
+
+class FixedWindow final : public WindowSchedule {
+ public:
+  explicit FixedWindow(std::uint64_t w) : w_(w) {}
+  std::uint64_t next_window_slots() override { return w_; }
+
+ private:
+  std::uint64_t w_;
+};
+
+Feedback quiet_slot(bool transmitted) {
+  Feedback fb;
+  fb.transmitted = transmitted;
+  return fb;
+}
+
+TEST(WindowNode, RejectsNullSchedule) {
+  EXPECT_THROW(WindowNodeProtocol(nullptr), ContractViolation);
+}
+
+TEST(WindowNode, HazardSequenceForWindowOfFour) {
+  WindowNodeProtocol node(std::make_unique<FixedWindow>(4));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0 / 4.0);
+  node.on_slot_end(quiet_slot(false));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0 / 3.0);
+  node.on_slot_end(quiet_slot(false));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0 / 2.0);
+  node.on_slot_end(quiet_slot(false));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0);  // must fire at the end
+}
+
+TEST(WindowNode, SilentAfterTransmission) {
+  WindowNodeProtocol node(std::make_unique<FixedWindow>(4));
+  (void)node.transmit_probability();
+  node.on_slot_end(quiet_slot(true));  // transmitted at offset 0
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 0.0);
+  node.on_slot_end(quiet_slot(false));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 0.0);
+  node.on_slot_end(quiet_slot(false));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 0.0);
+}
+
+TEST(WindowNode, ResetsAtWindowBoundary) {
+  WindowNodeProtocol node(std::make_unique<FixedWindow>(2));
+  (void)node.transmit_probability();
+  node.on_slot_end(quiet_slot(true));
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 0.0);
+  node.on_slot_end(quiet_slot(false));
+  // New window: hazard restarts at 1/2.
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0 / 2.0);
+  EXPECT_EQ(node.current_window(), 2u);
+  EXPECT_EQ(node.window_offset(), 0u);
+}
+
+TEST(WindowNode, HazardChainIsUniformOverOffsets) {
+  // Drive the hazard with real coins; the chosen offset must be uniform.
+  const std::uint64_t w = 8;
+  std::vector<double> counts(w, 0.0);
+  Xoshiro256 rng(99);
+  const int trials = 80000;
+  for (int t = 0; t < trials; ++t) {
+    WindowNodeProtocol node(std::make_unique<FixedWindow>(w));
+    for (std::uint64_t j = 0; j < w; ++j) {
+      const double p = node.transmit_probability();
+      const bool fire = rng.next_bernoulli(p);
+      if (fire) {
+        ++counts[j];
+      }
+      node.on_slot_end(quiet_slot(fire));
+    }
+  }
+  std::vector<double> expected(w, static_cast<double>(trials) / w);
+  EXPECT_LT(chi_square_statistic(counts, expected), 24.3);  // df=7, p=0.999
+}
+
+TEST(WindowNode, ExactlyOneTransmissionPerWindow) {
+  const std::uint64_t w = 5;
+  Xoshiro256 rng(100);
+  for (int t = 0; t < 2000; ++t) {
+    WindowNodeProtocol node(std::make_unique<FixedWindow>(w));
+    int fires = 0;
+    for (std::uint64_t j = 0; j < w; ++j) {
+      const bool fire = rng.next_bernoulli(node.transmit_probability());
+      if (fire) ++fires;
+      node.on_slot_end(quiet_slot(fire));
+    }
+    ASSERT_EQ(fires, 1);
+  }
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,100 @@
+// Energy-accounting invariants of the engines: the exact and expected
+// transmission counters that back the sensor_alarm example's tx/sensor
+// column and the cd_comparison analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/exp_backon_backoff.hpp"
+#include "core/one_fail_adaptive.hpp"
+#include "protocols/known_k.hpp"
+#include "sim/fair_engine.hpp"
+#include "sim/node_engine.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(Accounting, WindowEngineCountsExactTransmissions) {
+  // In a completed window-protocol run every station transmits exactly
+  // once per window it participates in, so transmissions >= k (each
+  // message is transmitted at least once) and every success contributes
+  // one transmission.
+  ExpBackonBackoff schedule;
+  Xoshiro256 rng(1);
+  const RunMetrics m = run_fair_window_engine(schedule, 256, rng, {});
+  ASSERT_TRUE(m.completed);
+  EXPECT_GE(m.transmissions, 256u);
+  // Expected-count accumulator must agree with the exact counter in
+  // expectation; for one run they are within Monte-Carlo noise of each
+  // other (the expected count sums pending*hazard per slot).
+  EXPECT_NEAR(m.expected_transmissions,
+              static_cast<double>(m.transmissions),
+              6.0 * std::sqrt(static_cast<double>(m.transmissions)));
+}
+
+TEST(Accounting, SlotEngineExpectedTransmissionsMatchesTheory) {
+  // Known-k genie: per slot the expected transmitter count is exactly 1
+  // (m stations at probability 1/m), so the accumulated expectation must
+  // equal the makespan.
+  KnownKGenie genie(500);
+  Xoshiro256 rng(2);
+  const RunMetrics m = run_fair_slot_engine(genie, 500, rng, {});
+  ASSERT_TRUE(m.completed);
+  EXPECT_NEAR(m.expected_transmissions, static_cast<double>(m.slots), 1e-6);
+}
+
+TEST(Accounting, NodeEngineTransmissionsAreExact) {
+  // The per-node engine counts actual coin flips; over many runs the mean
+  // transmissions of the genie must match its makespan (expectation 1 per
+  // slot), tying the two engines' accounting together.
+  const auto factory = make_known_k_factory();
+  const AggregateResult res =
+      run_node_experiment(factory, batched_arrivals(100), 100, 3, {});
+  double tx = 0.0, slots = 0.0;
+  for (const auto& run : res.details) {
+    tx += static_cast<double>(run.transmissions);
+    slots += static_cast<double>(run.slots);
+  }
+  EXPECT_NEAR(tx / slots, 1.0, 0.05);
+}
+
+TEST(Accounting, OneFailEnergyPerStationIsSuperconstant) {
+  // One-Fail Adaptive's energy cost per station grows with k (stations
+  // keep transmitting at probability ~1/kappa~ for the whole run) —
+  // the trade-off the sensor_alarm example surfaces vs window protocols.
+  OneFailAdaptive p_small;
+  Xoshiro256 rng_small(4);
+  const RunMetrics small = run_fair_slot_engine(p_small, 100, rng_small, {});
+  OneFailAdaptive p_large;
+  Xoshiro256 rng_large(5);
+  const RunMetrics large = run_fair_slot_engine(p_large, 10000, rng_large, {});
+  const double per_station_small = small.expected_transmissions / 100.0;
+  const double per_station_large = large.expected_transmissions / 10000.0;
+  EXPECT_GT(per_station_large, 1.5 * per_station_small);
+}
+
+TEST(Accounting, SawtoothEnergyPerStationIsLogarithmic) {
+  // A window protocol transmits once per window; the number of windows up
+  // to completion is O(log k) phases * O(log k) windows, so tx/station is
+  // polylogarithmic — it must grow much slower than the makespan.
+  ExpBackonBackoff s_small;
+  Xoshiro256 r1(6);
+  const RunMetrics small = run_fair_window_engine(s_small, 100, r1, {});
+  ExpBackonBackoff s_large;
+  Xoshiro256 r2(7);
+  const RunMetrics large = run_fair_window_engine(s_large, 10000, r2, {});
+  const double per_small =
+      static_cast<double>(small.transmissions) / 100.0;
+  const double per_large =
+      static_cast<double>(large.transmissions) / 10000.0;
+  // log^2 growth predicts a factor (log 10^4 / log 10^2)^2 = 4 between the
+  // two sizes (measured ~4.0); anything near the 100x of linear growth
+  // would be a regression.
+  EXPECT_LT(per_large, 6.0 * per_small);
+  EXPECT_GT(per_large, 1.5 * per_small);
+}
+
+}  // namespace
+}  // namespace ucr

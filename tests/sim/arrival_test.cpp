@@ -1,0 +1,66 @@
+#include "sim/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(BatchedArrivals, AllAtSlotZero) {
+  const ArrivalPattern a = batched_arrivals(5);
+  ASSERT_EQ(a.size(), 5u);
+  for (const auto slot : a) EXPECT_EQ(slot, 0u);
+}
+
+TEST(BatchedArrivals, EmptyBatch) {
+  EXPECT_TRUE(batched_arrivals(0).empty());
+}
+
+TEST(PoissonArrivals, SortedAndSized) {
+  Xoshiro256 rng(1);
+  const ArrivalPattern a = poisson_arrivals(100, 0.1, rng);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(PoissonArrivals, MeanInterArrivalMatchesRate) {
+  Xoshiro256 rng(2);
+  const double lambda = 0.25;
+  const ArrivalPattern a = poisson_arrivals(20000, lambda, rng);
+  // Last arrival time ~ k / lambda.
+  const double expected_span = 20000.0 / lambda;
+  EXPECT_NEAR(static_cast<double>(a.back()), expected_span,
+              0.05 * expected_span);
+}
+
+TEST(PoissonArrivals, RejectsNonPositiveRate) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(poisson_arrivals(10, 0.0, rng), ContractViolation);
+  EXPECT_THROW(poisson_arrivals(10, -1.0, rng), ContractViolation);
+}
+
+TEST(BurstArrivals, ShapeAndSpacing) {
+  const ArrivalPattern a = burst_arrivals(3, 4, 100);
+  ASSERT_EQ(a.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  // First burst at 0, second at 100, third at 200; 4 messages each.
+  EXPECT_EQ(std::count(a.begin(), a.end(), 0u), 4);
+  EXPECT_EQ(std::count(a.begin(), a.end(), 100u), 4);
+  EXPECT_EQ(std::count(a.begin(), a.end(), 200u), 4);
+}
+
+TEST(BurstArrivals, SingleBurstIsBatch) {
+  EXPECT_EQ(burst_arrivals(1, 7, 50), batched_arrivals(7));
+}
+
+TEST(BurstArrivals, RejectsEmptyShape) {
+  EXPECT_THROW(burst_arrivals(0, 4, 10), ContractViolation);
+  EXPECT_THROW(burst_arrivals(4, 0, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,168 @@
+#include "sim/fair_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ucr {
+namespace {
+
+// Fixed shared probability (the simplest fair protocol).
+class FixedFair final : public FairSlotProtocol {
+ public:
+  explicit FixedFair(double p) : p_(p) {}
+  double transmit_probability() const override { return p_; }
+  void on_slot_end(bool) override {}
+
+ private:
+  double p_;
+};
+
+class BadFair final : public FairSlotProtocol {
+ public:
+  double transmit_probability() const override { return -0.1; }
+  void on_slot_end(bool) override {}
+};
+
+// Fixed window size forever.
+class FixedWindow final : public WindowSchedule {
+ public:
+  explicit FixedWindow(std::uint64_t w) : w_(w) {}
+  std::uint64_t next_window_slots() override { return w_; }
+
+ private:
+  std::uint64_t w_;
+};
+
+TEST(FairSlotEngine, SingleStationFullProbability) {
+  FixedFair protocol(1.0);
+  Xoshiro256 rng(1);
+  const RunMetrics m = run_fair_slot_engine(protocol, 1, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.slots, 1u);
+  EXPECT_DOUBLE_EQ(m.expected_transmissions, 1.0);
+}
+
+TEST(FairSlotEngine, TwoStationsFullProbabilityDeadlocks) {
+  FixedFair protocol(1.0);
+  Xoshiro256 rng(2);
+  EngineOptions opts;
+  opts.max_slots = 100;
+  const RunMetrics m = run_fair_slot_engine(protocol, 2, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.collision_slots, 100u);
+}
+
+TEST(FairSlotEngine, SolvesWithReasonableProbability) {
+  FixedFair protocol(0.05);
+  Xoshiro256 rng(3);
+  const RunMetrics m = run_fair_slot_engine(protocol, 20, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.deliveries, 20u);
+}
+
+TEST(FairSlotEngine, RejectsZeroK) {
+  FixedFair protocol(0.5);
+  Xoshiro256 rng(4);
+  EXPECT_THROW(run_fair_slot_engine(protocol, 0, rng, {}),
+               ContractViolation);
+}
+
+TEST(FairSlotEngine, RejectsBadProbability) {
+  BadFair protocol;
+  Xoshiro256 rng(5);
+  EXPECT_THROW(run_fair_slot_engine(protocol, 2, rng, {}),
+               ContractViolation);
+}
+
+TEST(FairSlotEngine, RecordsDeliverySlots) {
+  FixedFair protocol(0.1);
+  Xoshiro256 rng(6);
+  EngineOptions opts;
+  opts.record_deliveries = true;
+  const RunMetrics m = run_fair_slot_engine(protocol, 10, rng, opts);
+  ASSERT_TRUE(m.completed);
+  ASSERT_EQ(m.delivery_slots.size(), 10u);
+  EXPECT_EQ(m.slots, m.delivery_slots.back() + 1);
+}
+
+TEST(FairWindowEngine, WindowOfOneWithOneStation) {
+  FixedWindow schedule(1);
+  Xoshiro256 rng(7);
+  const RunMetrics m = run_fair_window_engine(schedule, 1, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.slots, 1u);
+  EXPECT_EQ(m.transmissions, 1u);
+}
+
+TEST(FairWindowEngine, WindowOfOneWithManyDeadlocks) {
+  // Every station picks the single slot of every window: all collide.
+  FixedWindow schedule(1);
+  Xoshiro256 rng(8);
+  EngineOptions opts;
+  opts.max_slots = 50;
+  const RunMetrics m = run_fair_window_engine(schedule, 3, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.collision_slots, 50u);
+  EXPECT_EQ(m.transmissions, 150u);  // 3 per slot
+}
+
+TEST(FairWindowEngine, LargeWindowSolvesQuickly) {
+  FixedWindow schedule(64);
+  Xoshiro256 rng(9);
+  const RunMetrics m = run_fair_window_engine(schedule, 8, rng, {});
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.deliveries, 8u);
+}
+
+TEST(FairWindowEngine, EveryStationTransmitsOncePerFullWindow) {
+  // With w slots and m stations, exactly m transmissions happen per full
+  // window (delivered stations leave the pool for later windows).
+  FixedWindow schedule(16);
+  Xoshiro256 rng(10);
+  EngineOptions opts;
+  opts.max_slots = 16;  // exactly one window
+  const RunMetrics m = run_fair_window_engine(schedule, 5, rng, opts);
+  EXPECT_EQ(m.transmissions, 5u);
+}
+
+TEST(FairWindowEngine, MeanDeliveriesMatchSingletonExpectation) {
+  // m balls into w = m bins: expected singletons = m (1 - 1/m)^{m-1}.
+  const std::uint64_t m0 = 64;
+  RunningStats singles;
+  for (int trial = 0; trial < 400; ++trial) {
+    FixedWindow schedule(m0);
+    Xoshiro256 rng = Xoshiro256::stream(11, trial);
+    EngineOptions opts;
+    opts.max_slots = m0;  // exactly one window
+    const RunMetrics m = run_fair_window_engine(schedule, m0, rng, opts);
+    singles.add(static_cast<double>(m.deliveries));
+  }
+  const double expected =
+      static_cast<double>(m0) *
+      std::pow(1.0 - 1.0 / static_cast<double>(m0), m0 - 1);
+  EXPECT_NEAR(singles.mean(), expected, 0.05 * expected);
+}
+
+TEST(FairWindowEngine, CapInsideWindowRespected) {
+  FixedWindow schedule(1000);
+  Xoshiro256 rng(12);
+  EngineOptions opts;
+  opts.max_slots = 10;
+  const RunMetrics m = run_fair_window_engine(schedule, 500, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.slots, 10u);
+}
+
+TEST(FairWindowEngine, RejectsZeroK) {
+  FixedWindow schedule(4);
+  Xoshiro256 rng(13);
+  EXPECT_THROW(run_fair_window_engine(schedule, 0, rng, {}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ucr

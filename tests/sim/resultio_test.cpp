@@ -1,0 +1,128 @@
+#include "sim/resultio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "protocols/known_k.hpp"
+
+namespace ucr {
+namespace {
+
+TEST(ParseCsvLine, PlainCells) {
+  const auto cells = parse_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyCells) {
+  const auto cells = parse_csv_line(",x,");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "");
+  EXPECT_EQ(cells[2], "");
+}
+
+TEST(ParseCsvLine, QuotedCellsWithCommasAndQuotes) {
+  const auto cells = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\",z");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "say \"hi\"");
+  EXPECT_EQ(cells[2], "z");
+}
+
+TEST(ParseCsvLine, StripsCarriageReturn) {
+  const auto cells = parse_csv_line("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(ParseCsvLine, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv_line("\"oops"), ContractViolation);
+}
+
+TEST(ParseCsvLine, RoundTripsCsvWriterEscaping) {
+  for (const auto& original :
+       {std::string("plain"), std::string("with,comma"),
+        std::string("with \"quotes\""), std::string("")}) {
+    const auto cells = parse_csv_line(CsvWriter::escape(original));
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0], original);
+  }
+}
+
+TEST(ResultIo, RoundTripPreservesRows) {
+  std::vector<AggregateRow> rows(2);
+  rows[0].protocol = "One-Fail Adaptive";
+  rows[0].k = 1000;
+  rows[0].runs = 10;
+  rows[0].mean_makespan = 7432.5;
+  rows[0].stddev_makespan = 51.25;
+  rows[0].min_makespan = 7300;
+  rows[0].max_makespan = 7550;
+  rows[0].mean_ratio = 7.4325;
+  rows[1].protocol = "Log-Fails Adaptive (2)";  // name with parentheses
+  rows[1].k = 100;
+  rows[1].runs = 5;
+  rows[1].incomplete_runs = 1;
+  rows[1].mean_makespan = 9034;
+  rows[1].mean_ratio = 90.34;
+
+  std::stringstream ss;
+  write_aggregate_csv(ss, rows);
+  const auto back = read_aggregate_csv(ss);
+
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].protocol, rows[0].protocol);
+  EXPECT_EQ(back[0].k, rows[0].k);
+  EXPECT_EQ(back[0].runs, rows[0].runs);
+  EXPECT_NEAR(back[0].mean_makespan, rows[0].mean_makespan, 1e-5);
+  EXPECT_NEAR(back[0].stddev_makespan, rows[0].stddev_makespan, 1e-5);
+  EXPECT_NEAR(back[0].mean_ratio, rows[0].mean_ratio, 1e-5);
+  EXPECT_EQ(back[1].incomplete_runs, 1u);
+  EXPECT_EQ(back[1].protocol, rows[1].protocol);
+}
+
+TEST(ResultIo, FromAggregateResult) {
+  const auto factory = make_known_k_factory();
+  const AggregateResult res = run_fair_experiment(factory, 50, 4, 1, {});
+  const AggregateRow row = AggregateRow::from(res);
+  EXPECT_EQ(row.protocol, res.protocol);
+  EXPECT_EQ(row.k, 50u);
+  EXPECT_EQ(row.runs, 4u);
+  EXPECT_DOUBLE_EQ(row.mean_makespan, res.makespan.mean);
+  EXPECT_DOUBLE_EQ(row.mean_ratio, res.ratio.mean);
+}
+
+TEST(ResultIo, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(read_aggregate_csv(empty), ContractViolation);
+
+  std::stringstream bad_header("who,knows\n1,2\n");
+  EXPECT_THROW(read_aggregate_csv(bad_header), ContractViolation);
+
+  std::stringstream bad_cols(
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
+      "mean_ratio\nX,1,2\n");
+  EXPECT_THROW(read_aggregate_csv(bad_cols), ContractViolation);
+
+  std::stringstream bad_number(
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
+      "mean_ratio\nX,abc,2,0,1,1,1,1,1\n");
+  EXPECT_THROW(read_aggregate_csv(bad_number), ContractViolation);
+}
+
+TEST(ResultIo, SkipsBlankLines) {
+  std::vector<AggregateRow> rows(1);
+  rows[0].protocol = "X";
+  rows[0].k = 10;
+  std::stringstream ss;
+  write_aggregate_csv(ss, rows);
+  ss << "\n";
+  EXPECT_EQ(read_aggregate_csv(ss).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ucr

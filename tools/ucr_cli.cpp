@@ -1,0 +1,128 @@
+// ucr_cli — one command-line driver for the whole library: pick a protocol,
+// a workload, an engine and a scale; get per-run metrics, an aggregate
+// summary, or machine-readable CSV.
+//
+// Examples:
+//   ucr_cli --list
+//   ucr_cli --protocol="One-Fail Adaptive" --k=100000 --runs=10
+//   ucr_cli --protocol="Exp Back-on/Back-off" --k=1000 --engine=node
+//   ucr_cli --protocol="LogLog-Iterated Back-off" --k=500
+//           --arrivals=poisson --lambda=0.1 --runs=5
+//   ucr_cli --protocol="One-Fail Adaptive" --k=1000 --csv=1
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dynamic_one_fail.hpp"
+#include "core/registry.hpp"
+#include "sim/resultio.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+std::vector<ucr::ProtocolFactory> catalogue() {
+  auto protocols = ucr::all_protocols();
+  protocols.push_back(ucr::make_dynamic_one_fail_factory());
+  return protocols;
+}
+
+int list_protocols() {
+  std::cout << "Available protocols:\n";
+  for (const auto& p : catalogue()) {
+    std::cout << "  " << p.name << "\n";
+  }
+  return 0;
+}
+
+int usage(const char* error) {
+  if (error != nullptr) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: ucr_cli --protocol=<name> [options]\n"
+         "       ucr_cli --list\n\n"
+         "options:\n"
+         "  --k=N             batch size / number of messages (default 1000)\n"
+         "  --runs=N          independent runs (default 10)\n"
+         "  --seed=N          base seed (default 2011)\n"
+         "  --engine=fair|node  aggregate (default) or per-station engine\n"
+         "  --arrivals=batch|poisson|burst   workload (default batch;\n"
+         "                    non-batch workloads force --engine=node)\n"
+         "  --lambda=X        Poisson arrival rate in msg/slot (default 0.1)\n"
+         "  --bursts=N --gap=N  burst workload shape (default 4 bursts)\n"
+         "  --max-slots=N     slot cap (default: engine default)\n"
+         "  --csv=1           emit the aggregate row as CSV\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ucr::CliArgs args(argc, argv,
+                          {"protocol", "k", "runs", "seed", "engine",
+                           "arrivals", "lambda", "bursts", "gap",
+                           "max-slots", "csv", "list"});
+  if (args.get_bool("list", false)) return list_protocols();
+
+  const auto name = args.get("protocol");
+  if (!name) return usage("--protocol is required (try --list)");
+
+  const ucr::ProtocolFactory* factory = nullptr;
+  const auto protocols = catalogue();
+  for (const auto& p : protocols) {
+    if (p.name == *name) factory = &p;
+  }
+  if (factory == nullptr) return usage("unknown protocol (try --list)");
+
+  const std::uint64_t k = args.get_u64("k", 1000);
+  const std::uint64_t runs = args.get_u64("runs", 10);
+  const std::uint64_t seed = args.get_u64("seed", 2011);
+  const std::string engine = args.get("engine").value_or("fair");
+  const std::string arrivals_kind = args.get("arrivals").value_or("batch");
+
+  ucr::EngineOptions options;
+  options.max_slots = args.get_u64("max-slots", 0);
+
+  ucr::AggregateResult result;
+  if (arrivals_kind == "batch" && engine == "fair") {
+    if (!factory->has_fair()) return usage("protocol has no fair view");
+    result = ucr::run_fair_experiment(*factory, k, runs, seed, options);
+  } else {
+    if (!factory->node) return usage("protocol has no per-node view");
+    ucr::ArrivalPattern arrivals;
+    if (arrivals_kind == "batch") {
+      arrivals = ucr::batched_arrivals(k);
+    } else if (arrivals_kind == "poisson") {
+      ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(seed, 999);
+      arrivals =
+          ucr::poisson_arrivals(k, args.get_double("lambda", 0.1), arrival_rng);
+    } else if (arrivals_kind == "burst") {
+      const std::uint64_t bursts = args.get_u64("bursts", 4);
+      arrivals = ucr::burst_arrivals(bursts, k / bursts,
+                                     args.get_u64("gap", 64));
+    } else {
+      return usage("unknown --arrivals kind");
+    }
+    result = ucr::run_node_experiment(*factory, arrivals, runs, seed, options);
+  }
+
+  if (args.get_bool("csv", false)) {
+    ucr::write_aggregate_csv(std::cout,
+                             {ucr::AggregateRow::from(result)});
+    return result.incomplete_runs == 0 ? 0 : 1;
+  }
+
+  std::cout << result.protocol << " on k = " << result.k << " (" << runs
+            << " runs, seed " << seed << ", " << engine << " engine, "
+            << arrivals_kind << " arrivals)\n\n";
+  ucr::Table table({"metric", "value"});
+  table.add_row({"mean makespan", ucr::format_double(result.makespan.mean, 1)});
+  table.add_row({"95% CI halfwidth",
+                 ucr::format_double(result.makespan.ci95_halfwidth, 1)});
+  table.add_row({"min / max",
+                 ucr::format_double(result.makespan.min, 0) + " / " +
+                     ucr::format_double(result.makespan.max, 0)});
+  table.add_row({"mean ratio steps/k",
+                 ucr::format_double(result.ratio.mean, 3)});
+  table.add_row({"incomplete runs", std::to_string(result.incomplete_runs)});
+  table.print(std::cout);
+  return result.incomplete_runs == 0 ? 0 : 1;
+}
