@@ -6,7 +6,7 @@
 // simulation.
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/samplers.hpp"
 #include "common/table.hpp"
 #include "core/one_fail_adaptive.hpp"

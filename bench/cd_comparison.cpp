@@ -7,12 +7,13 @@
 // floor.
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/known_k.hpp"
 #include "protocols/stack_tree.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
@@ -24,9 +25,26 @@ int main(int argc, char** argv) {
   const auto ebobo = ucr::make_exp_backon_factory();
   const auto genie = ucr::make_known_k_factory();
 
+  std::vector<std::uint64_t> ks;
+  for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) ks.push_back(k);
+
+  // The three fair protocols sweep in parallel; the stack tree runs its own
+  // dedicated aggregate simulation (no ProtocolFactory view) serially — it
+  // is the cheapest column by far.
+  std::vector<ucr::SweepPoint> points;
+  points.reserve(ks.size() * 3);
+  for (const auto k : ks) {
+    points.push_back(ucr::SweepPoint::fair(ofa, k, cfg.runs, cfg.seed));
+    points.push_back(ucr::SweepPoint::fair(ebobo, k, cfg.runs, cfg.seed));
+    points.push_back(ucr::SweepPoint::fair(genie, k, cfg.runs, cfg.seed));
+  }
+  const auto results =
+      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+
   ucr::Table table({"k", "stack-tree (CD)", "One-Fail (no CD)",
                     "Sawtooth (no CD)", "genie (knows k)"});
-  for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) {
+  for (std::size_t j = 0; j < ks.size(); ++j) {
+    const std::uint64_t k = ks[j];
     // Stack tree through its dedicated aggregate simulation.
     double stack_sum = 0.0;
     for (std::uint64_t r = 0; r < cfg.runs; ++r) {
@@ -35,11 +53,9 @@ int main(int argc, char** argv) {
     }
     const double stack_ratio = stack_sum / static_cast<double>(cfg.runs);
 
-    const auto r_ofa = ucr::run_fair_experiment(ofa, k, cfg.runs, cfg.seed, {});
-    const auto r_ebobo =
-        ucr::run_fair_experiment(ebobo, k, cfg.runs, cfg.seed, {});
-    const auto r_genie =
-        ucr::run_fair_experiment(genie, k, cfg.runs, cfg.seed, {});
+    const auto& r_ofa = results[j * 3];
+    const auto& r_ebobo = results[j * 3 + 1];
+    const auto& r_genie = results[j * 3 + 2];
 
     table.add_row({std::to_string(k), ucr::format_double(stack_ratio, 2),
                    ucr::format_double(r_ofa.ratio.mean, 2),

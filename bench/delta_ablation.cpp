@@ -10,10 +10,11 @@
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 10000);
@@ -22,16 +23,33 @@ int main(int argc, char** argv) {
   std::cout << "=== delta ablation at k = " << k << " (" << cfg.runs
             << " runs) ===\n\n";
 
+  // Both ablation axes run as one sweep; the grid is the OFA deltas
+  // followed by the EBOBO deltas, in listed order.
+  const std::vector<double> ofa_deltas{2.72, 2.75, 2.80, 2.85, 2.90, 2.99};
+  const std::vector<double> ebobo_deltas{0.05, 0.10, 0.20, 0.30, 0.366};
+
+  std::vector<ucr::SweepPoint> points;
+  points.reserve(ofa_deltas.size() + ebobo_deltas.size());
+  for (const double delta : ofa_deltas) {
+    points.push_back(ucr::SweepPoint::fair(
+        ucr::make_one_fail_factory(ucr::OneFailParams{delta}, "ofa"), k,
+        cfg.runs, cfg.seed));
+  }
+  for (const double delta : ebobo_deltas) {
+    points.push_back(ucr::SweepPoint::fair(
+        ucr::make_exp_backon_factory(ucr::ExpBackonParams{delta}, "ebobo"), k,
+        cfg.runs, cfg.seed));
+  }
+  const auto results =
+      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+
   {
     std::cout << "One-Fail Adaptive (admissible: e < delta <= 2.9906)\n";
     ucr::Table table({"delta", "measured ratio", "analysis 2(delta+1)"});
-    for (const double delta : {2.72, 2.75, 2.80, 2.85, 2.90, 2.99}) {
-      const auto factory = ucr::make_one_fail_factory(
-          ucr::OneFailParams{delta}, "ofa");
-      const auto res =
-          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {});
+    for (std::size_t i = 0; i < ofa_deltas.size(); ++i) {
+      const double delta = ofa_deltas[i];
       table.add_row({ucr::format_double(delta, 3),
-                     ucr::format_double(res.ratio.mean, 2),
+                     ucr::format_double(results[i].ratio.mean, 2),
                      ucr::format_double(ucr::one_fail_ratio(delta), 2)});
     }
     table.print(std::cout);
@@ -40,11 +58,9 @@ int main(int argc, char** argv) {
   {
     std::cout << "\nExp Back-on/Back-off (admissible: 0 < delta < 1/e)\n";
     ucr::Table table({"delta", "measured ratio", "analysis 4(1+1/delta)"});
-    for (const double delta : {0.05, 0.10, 0.20, 0.30, 0.366}) {
-      const auto factory = ucr::make_exp_backon_factory(
-          ucr::ExpBackonParams{delta}, "ebobo");
-      const auto res =
-          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {});
+    for (std::size_t i = 0; i < ebobo_deltas.size(); ++i) {
+      const double delta = ebobo_deltas[i];
+      const auto& res = results[ofa_deltas.size() + i];
       table.add_row({ucr::format_double(delta, 3),
                      ucr::format_double(res.ratio.mean, 2),
                      ucr::format_double(ucr::exp_backon_ratio(delta), 2)});

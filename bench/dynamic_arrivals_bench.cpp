@@ -4,11 +4,13 @@
 // burst pattern. Uses the per-node engine: with staggered arrivals station
 // states genuinely diverge and the fair aggregate engine does not apply.
 #include <cstdint>
+#include <future>
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
 #include "sim/node_engine.hpp"
@@ -25,27 +27,45 @@ struct DynResult {
 
 DynResult run_dynamic(const ucr::ProtocolFactory& factory,
                       const std::vector<ucr::ArrivalPattern>& workloads,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, unsigned threads) {
+  // Each workload runs on its own worker with its pre-derived RNG substream
+  // (stream(seed, 1000 + r), as the serial loop always seeded) and commits
+  // into slot r, so the per-run results — and the latency concatenation
+  // order below — are identical for every thread count.
+  std::vector<ucr::RunMetrics> runs(workloads.size());
+  std::vector<ucr::LatencyMetrics> run_latencies(workloads.size());
+  {
+    ucr::ThreadPool pool(threads);
+    std::vector<std::future<void>> pending;
+    for (std::size_t r = 0; r < workloads.size(); ++r) {
+      pending.push_back(pool.submit([&factory, &workloads, &runs,
+                                     &run_latencies, seed, r] {
+        ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(seed, 1000 + r);
+        const std::uint64_t k = workloads[r].size();
+        const ucr::NodeFactory node_factory = [&](ucr::Xoshiro256& node_rng) {
+          return factory.node(k, node_rng);
+        };
+        // Finite cap: a protocol may livelock under sustained arrivals (One-
+        // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
+        // are reported through the `incomplete` column, not waited out.
+        ucr::EngineOptions opts;
+        opts.max_slots = 300000;
+        runs[r] = ucr::run_node_engine(node_factory, workloads[r], rng, opts,
+                                       &run_latencies[r]);
+      }));
+    }
+    for (auto& f : pending) f.get();
+  }
+
   DynResult out;
   std::vector<double> makespans;
   std::vector<double> latencies;
   for (std::size_t r = 0; r < workloads.size(); ++r) {
-    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(seed, 1000 + r);
-    const std::uint64_t k = workloads[r].size();
-    ucr::LatencyMetrics latency;
-    const ucr::NodeFactory node_factory = [&](ucr::Xoshiro256& node_rng) {
-      return factory.node(k, node_rng);
-    };
-    // Finite cap: a protocol may livelock under sustained arrivals (One-
-    // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
-    // are reported through the `incomplete` column, not waited out.
-    ucr::EngineOptions opts;
-    opts.max_slots = 300000;
-    const auto run = ucr::run_node_engine(node_factory, workloads[r], rng,
-                                          opts, &latency);
-    if (!run.completed) ++out.incomplete;
-    makespans.push_back(static_cast<double>(run.slots));
-    for (auto l : latency.latencies) latencies.push_back(static_cast<double>(l));
+    if (!runs[r].completed) ++out.incomplete;
+    makespans.push_back(static_cast<double>(runs[r].slots));
+    for (auto l : run_latencies[r].latencies) {
+      latencies.push_back(static_cast<double>(l));
+    }
   }
   out.mean_makespan = ucr::summarize(makespans).mean;
   const auto lat = ucr::summarize(latencies);
@@ -81,7 +101,7 @@ int main(int argc, char** argv) {
         ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(cfg.seed, r);
         workloads.push_back(ucr::poisson_arrivals(k, lambda, arrival_rng));
       }
-      const DynResult res = run_dynamic(factory, workloads, cfg.seed);
+      const DynResult res = run_dynamic(factory, workloads, cfg.seed, cfg.threads);
       table.add_row({factory.name, ucr::format_count(res.mean_makespan),
                      ucr::format_double(res.mean_latency, 1),
                      ucr::format_double(res.p95_latency, 1),
@@ -99,7 +119,7 @@ int main(int argc, char** argv) {
   for (const auto& factory : protocols) {
     const auto workload = ucr::burst_arrivals(4, k / 4, 64);
     std::vector<ucr::ArrivalPattern> workloads(cfg.runs, workload);
-    const DynResult res = run_dynamic(factory, workloads, cfg.seed);
+    const DynResult res = run_dynamic(factory, workloads, cfg.seed, cfg.threads);
     table.add_row({factory.name, ucr::format_count(res.mean_makespan),
                    ucr::format_double(res.mean_latency, 1),
                    ucr::format_double(res.p95_latency, 1),

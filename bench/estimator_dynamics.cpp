@@ -9,7 +9,7 @@
 // (DESIGN.md §5.1) — the two regimes that explain Figure 1's curves.
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/log_fails_adaptive.hpp"

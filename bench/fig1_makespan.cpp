@@ -10,11 +10,12 @@
 #include <fstream>
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
 #include "sim/resultio.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 1000000);
@@ -25,17 +26,24 @@ int main(int argc, char** argv) {
             << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
             << ") ===\n\n";
 
+  // The protocol x k grid runs as one parallel sweep; results come back in
+  // grid order, so cell (i, j) is protocol i at ks[j].
+  std::vector<ucr::SweepPoint> points;
+  points.reserve(protocols.size() * ks.size());
+  for (const auto& factory : protocols) {
+    for (const auto k : ks) {
+      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed));
+    }
+  }
+  const auto flat =
+      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+
   // protocol x k -> aggregate
   std::vector<std::vector<ucr::AggregateResult>> grid;
   grid.reserve(protocols.size());
-  for (const auto& factory : protocols) {
-    std::vector<ucr::AggregateResult> row;
-    row.reserve(ks.size());
-    for (const auto k : ks) {
-      row.push_back(
-          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {}));
-    }
-    grid.push_back(std::move(row));
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    grid.emplace_back(flat.begin() + i * ks.size(),
+                      flat.begin() + (i + 1) * ks.size());
   }
 
   std::vector<std::string> header{"k"};

@@ -2,10 +2,15 @@
 //
 // Every harness accepts the same overrides, with the command line taking
 // precedence over the environment:
-//   --kmax=N  / UCR_KMAX   largest k of the sweep      (default varies)
-//   --runs=N  / UCR_RUNS   runs per (protocol, k)      (default 10, as in
-//                          the paper)
-//   --seed=N  / UCR_SEED   base seed                   (default 2011)
+//   --kmax=N     / UCR_KMAX     largest k of the sweep   (default varies)
+//   --runs=N     / UCR_RUNS     runs per (protocol, k)   (default 10, as in
+//                               the paper)
+//   --seed=N     / UCR_SEED     base seed                (default 2011)
+//   --threads=N  / UCR_THREADS  sweep worker threads     (default 0 = all
+//                               hardware threads)
+//
+// Results are bit-identical for every thread count (see sim/sweep.hpp), so
+// --threads is purely a wall-clock knob.
 //
 // Full-scale reproduction of the paper (k up to 10^7) is run with
 // UCR_KMAX=10000000; defaults are sized so that `for b in build/bench/*`
@@ -24,15 +29,18 @@ struct HarnessConfig {
   std::uint64_t k_max;
   std::uint64_t runs;
   std::uint64_t seed;
+  unsigned threads;
 };
 
 inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
                                           std::uint64_t default_kmax) {
-  const CliArgs args(argc, argv, {"kmax", "runs", "seed"});
+  const CliArgs args(argc, argv, {"kmax", "runs", "seed", "threads"});
   HarnessConfig cfg;
   cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
   cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
   cfg.seed = args.get_u64("seed", env_u64("UCR_SEED", 2011));
+  cfg.threads =
+      static_cast<unsigned>(args.get_u64("threads", env_u64("UCR_THREADS", 0)));
   return cfg;
 }
 

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/rng.hpp"
 #include "common/samplers.hpp"
 #include "common/table.hpp"

@@ -7,12 +7,13 @@
 // exponential back-off.
 #include <iostream>
 
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "protocols/exp_backoff.hpp"
 #include "protocols/loglog_backoff.hpp"
 #include "protocols/poly_backoff.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
@@ -33,13 +34,22 @@ int main(int argc, char** argv) {
   const auto ks = ucr::paper_k_sweep(cfg.k_max);
   std::vector<std::string> header{"protocol"};
   for (const auto k : ks) header.push_back(std::to_string(k));
-  ucr::Table table(header);
+  std::vector<ucr::SweepPoint> points;
+  points.reserve(protocols.size() * ks.size());
   for (const auto& factory : protocols) {
-    std::vector<std::string> row{factory.name};
     for (const auto k : ks) {
-      const auto res =
-          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {});
-      row.push_back(ucr::format_double(res.ratio.mean, 1));
+      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed));
+    }
+  }
+  const auto results =
+      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+
+  ucr::Table table(header);
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    std::vector<std::string> row{protocols[i].name};
+    for (std::size_t j = 0; j < ks.size(); ++j) {
+      row.push_back(
+          ucr::format_double(results[i * ks.size() + j].ratio.mean, 1));
     }
     table.add_row(std::move(row));
   }

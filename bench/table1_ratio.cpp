@@ -9,9 +9,10 @@
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 1000000);
@@ -26,15 +27,24 @@ int main(int argc, char** argv) {
   for (const auto k : ks) header.push_back(std::to_string(k));
   header.push_back("Analysis");
 
-  ucr::Table table(header);
+  std::vector<ucr::SweepPoint> points;
+  points.reserve(protocols.size() * ks.size());
   for (const auto& factory : protocols) {
-    std::vector<std::string> row{factory.name};
     for (const auto k : ks) {
-      const auto res =
-          ucr::run_fair_experiment(factory, k, cfg.runs, cfg.seed, {});
+      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed));
+    }
+  }
+  const auto results =
+      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+
+  ucr::Table table(header);
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    std::vector<std::string> row{protocols[i].name};
+    for (std::size_t j = 0; j < ks.size(); ++j) {
+      const auto& res = results[i * ks.size() + j];
       row.push_back(ucr::format_double(res.ratio.mean, 1));
     }
-    row.push_back(ucr::analysis_cell(factory.name));
+    row.push_back(ucr::analysis_cell(protocols[i].name));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

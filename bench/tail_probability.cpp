@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "bench/harness_common.hpp"
+#include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"

@@ -1,0 +1,61 @@
+#include "common/thread_pool.hpp"
+
+namespace ucr {
+
+unsigned ThreadPool::resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve_threads(threads);
+  workers_.reserve(count);
+  try {
+    for (unsigned i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation can fail (resource limits, absurd --threads values).
+    // Join the workers that did start before rethrowing, or their joinable
+    // std::thread destructors would call std::terminate.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    // Exceptions are captured by the packaged_task wrapper inside `task`
+    // and surface at future::get(); nothing escapes into the worker.
+    task();
+  }
+}
+
+}  // namespace ucr

@@ -1,0 +1,77 @@
+// Fixed-size worker-thread pool used by the sweep subsystem.
+//
+// Design notes:
+//  * submit() returns a std::future of the callable's result; an exception
+//    thrown by the task is captured and rethrown from future::get(), so
+//    callers see worker failures exactly where they consume results.
+//  * The destructor drains the queue: every task submitted before
+//    destruction runs to completion, then the workers join. There is no
+//    cancel path — the pool is for finite experiment grids, not services.
+//  * Determinism of simulation results is NOT the pool's concern: tasks may
+//    run in any order on any worker. Callers obtain determinism by seeding
+//    each task independently (Xoshiro256::stream) and committing results to
+//    pre-assigned slots (see sim/sweep.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ucr {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Resolves the `threads` constructor argument the same way the
+  /// constructor does (exposed so CLIs can report the effective count).
+  static unsigned resolve_threads(unsigned threads);
+
+  /// Enqueues a callable; returns the future of its result. Safe to call
+  /// concurrently from any thread, including from within tasks — but a
+  /// task that BLOCKS on an inner task's future deadlocks when no other
+  /// worker is idle to pick the inner task up; from inside a worker,
+  /// treat submit() as fire-and-forget or guarantee a spare worker.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace ucr

@@ -4,10 +4,8 @@
 
 namespace ucr {
 
-namespace {
-
-AggregateResult aggregate(std::string name, std::uint64_t k,
-                          std::vector<RunMetrics> runs) {
+AggregateResult aggregate_runs(std::string name, std::uint64_t k,
+                               std::vector<RunMetrics> runs) {
   AggregateResult result;
   result.protocol = std::move(name);
   result.k = k;
@@ -27,7 +25,33 @@ AggregateResult aggregate(std::string name, std::uint64_t k,
   return result;
 }
 
-}  // namespace
+RunMetrics run_single_fair(const ProtocolFactory& factory, std::uint64_t k,
+                           std::uint64_t run_index, std::uint64_t seed,
+                           const EngineOptions& options) {
+  UCR_REQUIRE(factory.has_fair(),
+              "protocol '" + factory.name + "' has no fair-engine view");
+  Xoshiro256 rng = Xoshiro256::stream(seed, run_index);
+  if (factory.fair_slot) {
+    auto protocol = factory.fair_slot(k);
+    return run_fair_slot_engine(*protocol, k, rng, options);
+  }
+  auto schedule = factory.window(k);
+  return run_fair_window_engine(*schedule, k, rng, options);
+}
+
+RunMetrics run_single_node(const ProtocolFactory& factory,
+                           const ArrivalPattern& arrivals,
+                           std::uint64_t run_index, std::uint64_t seed,
+                           const EngineOptions& options) {
+  UCR_REQUIRE(static_cast<bool>(factory.node),
+              "protocol '" + factory.name + "' has no per-node view");
+  const std::uint64_t k = arrivals.size();
+  Xoshiro256 rng = Xoshiro256::stream(seed, run_index);
+  const NodeFactory node_factory = [&](Xoshiro256& node_rng) {
+    return factory.node(k, node_rng);
+  };
+  return run_node_engine(node_factory, arrivals, rng, options);
+}
 
 AggregateResult run_fair_experiment(const ProtocolFactory& factory,
                                     std::uint64_t k, std::uint64_t runs,
@@ -40,16 +64,9 @@ AggregateResult run_fair_experiment(const ProtocolFactory& factory,
   std::vector<RunMetrics> all;
   all.reserve(runs);
   for (std::uint64_t r = 0; r < runs; ++r) {
-    Xoshiro256 rng = Xoshiro256::stream(seed, r);
-    if (factory.fair_slot) {
-      auto protocol = factory.fair_slot(k);
-      all.push_back(run_fair_slot_engine(*protocol, k, rng, options));
-    } else {
-      auto schedule = factory.window(k);
-      all.push_back(run_fair_window_engine(*schedule, k, rng, options));
-    }
+    all.push_back(run_single_fair(factory, k, r, seed, options));
   }
-  return aggregate(factory.name, k, std::move(all));
+  return aggregate_runs(factory.name, k, std::move(all));
 }
 
 AggregateResult run_node_experiment(const ProtocolFactory& factory,
@@ -59,18 +76,13 @@ AggregateResult run_node_experiment(const ProtocolFactory& factory,
   UCR_REQUIRE(static_cast<bool>(factory.node),
               "protocol '" + factory.name + "' has no per-node view");
   UCR_REQUIRE(runs > 0, "at least one run required");
-  const std::uint64_t k = arrivals.size();
 
   std::vector<RunMetrics> all;
   all.reserve(runs);
   for (std::uint64_t r = 0; r < runs; ++r) {
-    Xoshiro256 rng = Xoshiro256::stream(seed, r);
-    const NodeFactory node_factory = [&](Xoshiro256& node_rng) {
-      return factory.node(k, node_rng);
-    };
-    all.push_back(run_node_engine(node_factory, arrivals, rng, options));
+    all.push_back(run_single_node(factory, arrivals, r, seed, options));
   }
-  return aggregate(factory.name, k, std::move(all));
+  return aggregate_runs(factory.name, arrivals.size(), std::move(all));
 }
 
 std::vector<std::uint64_t> paper_k_sweep(std::uint64_t k_max) {

@@ -45,6 +45,26 @@ struct AggregateResult {
   std::vector<RunMetrics> details;    ///< one entry per run
 };
 
+/// One execution of a fair protocol at batch size k through the aggregate
+/// engine, seeded as stream(seed, run_index). This is the unit of work the
+/// serial experiment loops and the parallel SweepRunner (sim/sweep.hpp)
+/// share: a (seed, run_index) pair fully determines the result, so
+/// scheduling order and thread count cannot change any output.
+RunMetrics run_single_fair(const ProtocolFactory& factory, std::uint64_t k,
+                           std::uint64_t run_index, std::uint64_t seed,
+                           const EngineOptions& options);
+
+/// One execution through the per-node engine, seeded as
+/// stream(seed, run_index).
+RunMetrics run_single_node(const ProtocolFactory& factory,
+                           const ArrivalPattern& arrivals,
+                           std::uint64_t run_index, std::uint64_t seed,
+                           const EngineOptions& options);
+
+/// Folds per-run metrics (in run order) into the aggregate summary.
+AggregateResult aggregate_runs(std::string name, std::uint64_t k,
+                               std::vector<RunMetrics> runs);
+
 /// Runs `runs` executions of a fair protocol at batch size k through the
 /// aggregate engine, with run r seeded as stream(seed, r).
 AggregateResult run_fair_experiment(const ProtocolFactory& factory,

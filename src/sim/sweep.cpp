@@ -1,0 +1,99 @@
+#include "sim/sweep.hpp"
+
+#include <future>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ucr {
+
+SweepPoint SweepPoint::fair(ProtocolFactory factory, std::uint64_t k,
+                            std::uint64_t runs, std::uint64_t seed,
+                            const EngineOptions& options) {
+  SweepPoint point;
+  point.factory = std::move(factory);
+  point.k = k;
+  point.runs = runs;
+  point.seed = seed;
+  point.options = options;
+  return point;
+}
+
+SweepPoint SweepPoint::node(ProtocolFactory factory, ArrivalPattern arrivals,
+                            std::uint64_t runs, std::uint64_t seed,
+                            const EngineOptions& options) {
+  SweepPoint point;
+  point.factory = std::move(factory);
+  point.arrivals = std::move(arrivals);
+  point.k = point.arrivals.size();
+  point.runs = runs;
+  point.seed = seed;
+  point.options = options;
+  return point;
+}
+
+unsigned SweepRunner::threads() const {
+  return ThreadPool::resolve_threads(options_.threads);
+}
+
+std::vector<AggregateResult> SweepRunner::run(
+    const std::vector<SweepPoint>& grid) const {
+  // Validate the whole grid up front so a malformed cell fails before any
+  // work is scheduled, not halfway through a long sweep.
+  for (const SweepPoint& point : grid) {
+    UCR_REQUIRE(point.runs > 0, "at least one run required per sweep point");
+    if (point.arrivals.empty()) {
+      UCR_REQUIRE(point.factory.has_fair(),
+                  "protocol '" + point.factory.name +
+                      "' has no fair-engine view");
+    } else {
+      UCR_REQUIRE(static_cast<bool>(point.factory.node),
+                  "protocol '" + point.factory.name +
+                      "' has no per-node view");
+    }
+  }
+
+  // Pre-assigned result slots: metrics[cell][run]. Each work item writes
+  // only its own slot, so no synchronization beyond the futures is needed
+  // and the assembly below is independent of execution order.
+  std::vector<std::vector<RunMetrics>> metrics(grid.size());
+  std::vector<std::future<void>> pending;
+  {
+    ThreadPool pool(options_.threads);
+    for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+      const SweepPoint& point = grid[cell];
+      metrics[cell].resize(point.runs);
+      for (std::uint64_t r = 0; r < point.runs; ++r) {
+        RunMetrics* slot = &metrics[cell][r];
+        pending.push_back(pool.submit([&point, r, slot] {
+          *slot = point.arrivals.empty()
+                      ? run_single_fair(point.factory, point.k, r, point.seed,
+                                        point.options)
+                      : run_single_node(point.factory, point.arrivals, r,
+                                        point.seed, point.options);
+        }));
+      }
+    }
+    // ~ThreadPool drains the queue; futures below are then all ready.
+  }
+
+  // Surface the first work-item exception (if any) in deterministic
+  // (cell, run) order — again independent of scheduling.
+  for (std::future<void>& f : pending) {
+    f.get();
+  }
+
+  std::vector<AggregateResult> results;
+  results.reserve(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    const SweepPoint& point = grid[cell];
+    const std::uint64_t k =
+        point.arrivals.empty() ? point.k : point.arrivals.size();
+    results.push_back(
+        aggregate_runs(point.factory.name, k, std::move(metrics[cell])));
+  }
+  return results;
+}
+
+}  // namespace ucr

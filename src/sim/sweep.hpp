@@ -1,0 +1,73 @@
+// Parallel parameter-sweep subsystem.
+//
+// A sweep is a grid of experiment cells (protocol x k x arrival pattern x
+// seed); each cell repeats `runs` independent executions. SweepRunner
+// flattens the grid into (cell, run) work items and executes them on a
+// ThreadPool, then reassembles per-cell aggregates in grid order.
+//
+// Determinism guarantee: run r of a cell is seeded Xoshiro256::stream(seed,
+// r) — the substream derivation the serial runner has always used — and
+// every work item writes its RunMetrics into a pre-assigned slot. Scheduling
+// order, work stealing and thread count therefore cannot influence any
+// output bit: SweepRunner with 1 thread, with N threads, and the serial
+// run_fair_experiment / run_node_experiment loops all produce identical
+// results (tests/sim/sweep_test.cpp pins this, down to CSV bytes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace ucr {
+
+/// One cell of a sweep grid.
+struct SweepPoint {
+  ProtocolFactory factory;
+  /// Batch size for the fair engine; ignored when `arrivals` drives a
+  /// per-node run (k is then arrivals.size()).
+  std::uint64_t k = 0;
+  /// Non-empty => run through the per-node engine on this pattern.
+  ArrivalPattern arrivals;
+  std::uint64_t runs = 10;
+  std::uint64_t seed = 2011;
+  EngineOptions options;
+
+  /// Fair-engine cell.
+  static SweepPoint fair(ProtocolFactory factory, std::uint64_t k,
+                         std::uint64_t runs, std::uint64_t seed,
+                         const EngineOptions& options = {});
+
+  /// Per-node-engine cell.
+  static SweepPoint node(ProtocolFactory factory, ArrivalPattern arrivals,
+                         std::uint64_t runs, std::uint64_t seed,
+                         const EngineOptions& options = {});
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means all hardware threads.
+  unsigned threads = 0;
+};
+
+/// Executes sweep grids across a worker pool. The pool is created per
+/// run() call: a SweepRunner is cheap to construct and holds no threads
+/// between sweeps.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  /// Runs every (cell, run) work item of the grid and returns one
+  /// AggregateResult per cell, in grid order. Throws ContractViolation on
+  /// malformed cells (runs == 0, missing engine view); an exception thrown
+  /// inside any work item (protocol factory or engine) is propagated to
+  /// the caller after the remaining items finish.
+  std::vector<AggregateResult> run(const std::vector<SweepPoint>& grid) const;
+
+  /// Effective worker count for this runner's options.
+  unsigned threads() const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace ucr

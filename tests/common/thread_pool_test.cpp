@@ -1,0 +1,88 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ucr {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsDefaultsToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsTaskResultsThroughFutures) {
+  ThreadPool pool(2);
+  auto square = pool.submit([] { return 7 * 7; });
+  auto text = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(square.get(), 49);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto fine = pool.submit([] { return 1; });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  // A failed task must not poison the pool.
+  EXPECT_EQ(fine.get(), 1);
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      });
+    }
+    // Destruction must wait for all 50, not drop the queued remainder.
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SubmitFromWithinTask) {
+  // Blocking on an inner future from a worker requires a spare idle worker
+  // (see submit() docs); one outer task on a 2-thread pool guarantees it.
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    return pool.submit([] { return 21; }).get() * 2;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+}  // namespace
+}  // namespace ucr

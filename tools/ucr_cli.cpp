@@ -10,13 +10,14 @@
 //           --arrivals=poisson --lambda=0.1 --runs=5
 //   ucr_cli --protocol="One-Fail Adaptive" --k=1000 --csv=1
 #include <iostream>
+#include <utility>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
 #include "sim/resultio.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -49,6 +50,8 @@ int usage(const char* error) {
          "  --lambda=X        Poisson arrival rate in msg/slot (default 0.1)\n"
          "  --bursts=N --gap=N  burst workload shape (default 4 bursts)\n"
          "  --max-slots=N     slot cap (default: engine default)\n"
+         "  --threads=N       sweep worker threads (default 0 = all cores;\n"
+         "                    results are identical for every N)\n"
          "  --csv=1           emit the aggregate row as CSV\n";
   return 2;
 }
@@ -59,7 +62,7 @@ int main(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
                           {"protocol", "k", "runs", "seed", "engine",
                            "arrivals", "lambda", "bursts", "gap",
-                           "max-slots", "csv", "list"});
+                           "max-slots", "threads", "csv", "list"});
   if (args.get_bool("list", false)) return list_protocols();
 
   const auto name = args.get("protocol");
@@ -77,14 +80,17 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 2011);
   const std::string engine = args.get("engine").value_or("fair");
   const std::string arrivals_kind = args.get("arrivals").value_or("batch");
+  const unsigned threads = static_cast<unsigned>(args.get_u64("threads", 0));
 
   ucr::EngineOptions options;
   options.max_slots = args.get_u64("max-slots", 0);
 
-  ucr::AggregateResult result;
+  // Every path is one sweep cell; SweepRunner spreads its `runs` across the
+  // worker threads with bit-identical output for any --threads value.
+  ucr::SweepPoint point;
   if (arrivals_kind == "batch" && engine == "fair") {
     if (!factory->has_fair()) return usage("protocol has no fair view");
-    result = ucr::run_fair_experiment(*factory, k, runs, seed, options);
+    point = ucr::SweepPoint::fair(*factory, k, runs, seed, options);
   } else {
     if (!factory->node) return usage("protocol has no per-node view");
     ucr::ArrivalPattern arrivals;
@@ -101,8 +107,11 @@ int main(int argc, char** argv) {
     } else {
       return usage("unknown --arrivals kind");
     }
-    result = ucr::run_node_experiment(*factory, arrivals, runs, seed, options);
+    point = ucr::SweepPoint::node(*factory, std::move(arrivals), runs, seed,
+                                  options);
   }
+  const ucr::AggregateResult result =
+      ucr::SweepRunner(ucr::SweepOptions{threads}).run({point})[0];
 
   if (args.get_bool("csv", false)) {
     ucr::write_aggregate_csv(std::cout,
