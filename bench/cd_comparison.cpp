@@ -34,9 +34,12 @@ int main(int argc, char** argv) {
   std::vector<ucr::SweepPoint> points;
   points.reserve(ks.size() * 3);
   for (const auto k : ks) {
-    points.push_back(ucr::SweepPoint::fair(ofa, k, cfg.runs, cfg.seed));
-    points.push_back(ucr::SweepPoint::fair(ebobo, k, cfg.runs, cfg.seed));
-    points.push_back(ucr::SweepPoint::fair(genie, k, cfg.runs, cfg.seed));
+    points.push_back(ucr::SweepPoint::fair(ofa, k, cfg.runs, cfg.seed,
+                                           cfg.engine_options()));
+    points.push_back(ucr::SweepPoint::fair(ebobo, k, cfg.runs, cfg.seed,
+                                           cfg.engine_options()));
+    points.push_back(ucr::SweepPoint::fair(genie, k, cfg.runs, cfg.seed,
+                                           cfg.engine_options()));
   }
   const auto results =
       ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);

@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
   for (const double delta : ofa_deltas) {
     points.push_back(ucr::SweepPoint::fair(
         ucr::make_one_fail_factory(ucr::OneFailParams{delta}, "ofa"), k,
-        cfg.runs, cfg.seed));
+        cfg.runs, cfg.seed, cfg.engine_options()));
   }
   for (const double delta : ebobo_deltas) {
     points.push_back(ucr::SweepPoint::fair(
         ucr::make_exp_backon_factory(ucr::ExpBackonParams{delta}, "ebobo"), k,
-        cfg.runs, cfg.seed));
+        cfg.runs, cfg.seed, cfg.engine_options()));
   }
   const auto results =
       ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);

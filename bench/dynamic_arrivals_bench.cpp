@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
         ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(cfg.seed, r);
         workloads.push_back(ucr::poisson_arrivals(k, lambda, arrival_rng));
       }
-      const DynResult res = run_dynamic(factory, workloads, cfg.seed, cfg.threads);
+      const DynResult res =
+          run_dynamic(factory, workloads, cfg.seed, cfg.threads);
       table.add_row({factory.name, ucr::format_count(res.mean_makespan),
                      ucr::format_double(res.mean_latency, 1),
                      ucr::format_double(res.p95_latency, 1),
@@ -119,7 +120,8 @@ int main(int argc, char** argv) {
   for (const auto& factory : protocols) {
     const auto workload = ucr::burst_arrivals(4, k / 4, 64);
     std::vector<ucr::ArrivalPattern> workloads(cfg.runs, workload);
-    const DynResult res = run_dynamic(factory, workloads, cfg.seed, cfg.threads);
+    const DynResult res =
+        run_dynamic(factory, workloads, cfg.seed, cfg.threads);
     table.add_row({factory.name, ucr::format_count(res.mean_makespan),
                    ucr::format_double(res.mean_latency, 1),
                    ucr::format_double(res.p95_latency, 1),

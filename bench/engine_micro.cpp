@@ -8,6 +8,8 @@
 #include "common/samplers.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
+#include "protocols/exp_backoff.hpp"
+#include "protocols/known_k.hpp"
 #include "sim/fair_engine.hpp"
 #include "sim/node_engine.hpp"
 
@@ -80,6 +82,57 @@ void BM_FairWindowEngine_Sawtooth(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(slots));
 }
 BENCHMARK(BM_FairWindowEngine_Sawtooth)->Arg(1000)->Arg(100000);
+
+// Exact vs batched on the same workload: the batched engine's win is the
+// sparse-window regime of monotone back-off, where almost every slot is
+// silent and the exact engine still pays one binomial draw for it.
+void BM_FairWindowEngine_ExpBackoff(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::ExponentialBackoff schedule;
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(8, seed++);
+    const auto run = ucr::run_fair_window_engine(schedule, k, rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_FairWindowEngine_ExpBackoff)->Arg(10000)->Arg(100000);
+
+void BM_FairWindowEngineBatched_ExpBackoff(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::ExponentialBackoff schedule;
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(8, seed++);
+    const auto run = ucr::run_fair_window_engine_batched(schedule, k, rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_FairWindowEngineBatched_ExpBackoff)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+void BM_FairSlotEngineBatched_Genie(benchmark::State& state) {
+  const std::uint64_t k = state.range(0);
+  std::uint64_t seed = 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    ucr::KnownKGenie genie(k);
+    ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(9, seed++);
+    const auto run = ucr::run_fair_slot_engine_batched(genie, k, rng, {});
+    slots += run.slots;
+    benchmark::DoNotOptimize(run.slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_FairSlotEngineBatched_Genie)->Arg(100000)->Arg(1000000);
 
 void BM_NodeEngine_OneFail(benchmark::State& state) {
   const std::uint64_t k = state.range(0);

@@ -6,11 +6,18 @@
 //   --runs=N     / UCR_RUNS     runs per (protocol, k)   (default 10, as in
 //                               the paper)
 //   --seed=N     / UCR_SEED     base seed                (default 2011)
-//   --threads=N  / UCR_THREADS  sweep worker threads     (default 0 = all
-//                               hardware threads)
+//   --threads=N  / UCR_THREADS  sweep worker threads     (default: all
+//                               hardware threads; N >= 1, junk and 0 are
+//                               rejected)
+//   --batched=1  / UCR_BATCHED  run fair cells through the batched engine
+//                               fast path (sim/fair_engine.hpp) — same law
+//                               of outcomes as the exact engines but a
+//                               different RNG path, so per-run numbers
+//                               differ; means/quantiles agree
 //
 // Results are bit-identical for every thread count (see sim/sweep.hpp), so
-// --threads is purely a wall-clock knob.
+// --threads is purely a wall-clock knob; --batched is the paper-scale
+// wall-clock knob (UCR_KMAX=10000000 sweeps).
 //
 // Full-scale reproduction of the paper (k up to 10^7) is run with
 // UCR_KMAX=10000000; defaults are sized so that `for b in build/bench/*`
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "sim/metrics.hpp"
 
 namespace ucr::bench {
 
@@ -30,17 +38,26 @@ struct HarnessConfig {
   std::uint64_t runs;
   std::uint64_t seed;
   unsigned threads;
+  bool batched;
+
+  /// Engine options for the harness's fair sweep cells.
+  EngineOptions engine_options() const {
+    EngineOptions options;
+    options.batched = batched;
+    return options;
+  }
 };
 
 inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
                                           std::uint64_t default_kmax) {
-  const CliArgs args(argc, argv, {"kmax", "runs", "seed", "threads"});
+  const CliArgs args(argc, argv,
+                     {"kmax", "runs", "seed", "threads", "batched"});
   HarnessConfig cfg;
   cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
   cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
   cfg.seed = args.get_u64("seed", env_u64("UCR_SEED", 2011));
-  cfg.threads =
-      static_cast<unsigned>(args.get_u64("threads", env_u64("UCR_THREADS", 0)));
+  cfg.threads = thread_count_option(args, "UCR_THREADS");
+  cfg.batched = args.get_bool("batched", env_u64("UCR_BATCHED", 0) != 0);
   return cfg;
 }
 

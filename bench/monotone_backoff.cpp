@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   protocols.push_back(
       ucr::make_loglog_factory(ucr::LogLogParams{2.0}, "LogLog-Iterated"));
   for (const double r : {2.0, 4.0, 16.0}) {
-    protocols.push_back(ucr::make_exp_backoff_factory(ucr::ExpBackoffParams{r}));
+    protocols.push_back(
+        ucr::make_exp_backoff_factory(ucr::ExpBackoffParams{r}));
   }
   protocols.push_back(
       ucr::make_poly_backoff_factory(ucr::PolyBackoffParams{2.0}));
@@ -38,7 +39,8 @@ int main(int argc, char** argv) {
   points.reserve(protocols.size() * ks.size());
   for (const auto& factory : protocols) {
     for (const auto k : ks) {
-      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed));
+      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed,
+                                             cfg.engine_options()));
     }
   }
   const auto results =

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   points.reserve(protocols.size() * ks.size());
   for (const auto& factory : protocols) {
     for (const auto k : ks) {
-      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed));
+      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed,
+                                             cfg.engine_options()));
     }
   }
   const auto results =

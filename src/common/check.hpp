@@ -15,7 +15,8 @@ namespace ucr {
 /// Thrown when a UCR_REQUIRE (precondition) or UCR_CHECK (invariant) fails.
 class ContractViolation : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
 };
 
 namespace detail {

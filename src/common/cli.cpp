@@ -18,7 +18,8 @@ CliArgs::CliArgs(int argc, const char* const* argv,
     const auto eq = arg.find('=');
     const std::string key =
         eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
-    const std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    const std::string value =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
     UCR_REQUIRE(std::find(allowed_keys.begin(), allowed_keys.end(), key) !=
                     allowed_keys.end(),
                 "unknown option --" + key);
@@ -32,7 +33,8 @@ std::optional<std::string> CliArgs::get(const std::string& key) const {
   return it->second;
 }
 
-std::uint64_t CliArgs::get_u64(const std::string& key, std::uint64_t def) const {
+std::uint64_t CliArgs::get_u64(const std::string& key,
+                               std::uint64_t def) const {
   const auto v = get(key);
   if (!v) return def;
   return std::strtoull(v->c_str(), nullptr, 10);
@@ -48,6 +50,37 @@ bool CliArgs::get_bool(const std::string& key, bool def) const {
   const auto v = get(key);
   if (!v) return def;
   return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+unsigned parse_thread_count(const std::string& text,
+                            const std::string& source) {
+  UCR_REQUIRE(!text.empty(), source + " must be a positive integer (or be "
+                                 "omitted to use all hardware threads)");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    UCR_REQUIRE(c >= '0' && c <= '9',
+                source + " must be a positive integer, got '" + text + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    UCR_REQUIRE(value <= 1'000'000,
+                source + " is implausibly large: '" + text + "'");
+  }
+  UCR_REQUIRE(value > 0, source + " must be at least 1 (omit it to use all "
+                                      "hardware threads), got '" +
+                             text + "'");
+  return static_cast<unsigned>(value);
+}
+
+unsigned thread_count_option(const CliArgs& args, const char* env_name) {
+  if (const auto flag = args.get("threads")) {
+    return parse_thread_count(*flag, "--threads");
+  }
+  if (env_name != nullptr) {
+    const char* env = std::getenv(env_name);
+    if (env != nullptr && *env != '\0') {
+      return parse_thread_count(env, env_name);
+    }
+  }
+  return 0;  // auto: all hardware threads
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t def) {

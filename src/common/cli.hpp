@@ -39,4 +39,17 @@ class CliArgs {
 std::uint64_t env_u64(const char* name, std::uint64_t def);
 double env_double(const char* name, double def);
 
+/// Strict worker-thread-count parsing shared by every binary that takes
+/// --threads / UCR_THREADS. A present value must be a positive decimal
+/// integer: junk ("abc", "4x", "-1") and explicit 0 throw ContractViolation
+/// with a message naming the offending source — silently mapping them to
+/// "all cores" (what strtoull-based parsing did) hides typos in experiment
+/// scripts. Absent means auto (returns 0 = all hardware threads).
+unsigned parse_thread_count(const std::string& text, const std::string& source);
+
+/// Resolves the effective --threads value: the CLI flag if present, else
+/// the environment variable `env_name` (when non-null and set), else 0
+/// (auto). Both sources are validated with parse_thread_count.
+unsigned thread_count_option(const CliArgs& args, const char* env_name);
+
 }  // namespace ucr

@@ -5,6 +5,7 @@
 // protocols produce (m up to 10^7, probabilities down to ~1e-8).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace ucr {
@@ -41,5 +42,31 @@ std::uint64_t to_u64_saturating(double x);
 /// Exact k from "10^i"-style sweep helper: returns true when `k` is a power
 /// of ten (used by the Table 1 harness to label rows like the paper).
 bool is_power_of_ten(std::uint64_t k);
+
+/// Compensated accumulator (Neumaier's variant of Kahan summation).
+///
+/// Summing ~10^7 per-slot expectations of order 10^-7..1 naively loses up
+/// to ~n*eps*|sum| of precision; the compensated sum keeps the error at
+/// O(eps) independent of n. Used by the fair engines for
+/// RunMetrics::expected_transmissions at paper scale (k up to 10^7).
+class KahanSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    // Neumaier's branch: compensate with whichever operand lost digits.
+    if (std::abs(sum_) >= std::abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
 
 }  // namespace ucr

@@ -91,6 +91,20 @@ std::uint64_t sample_binomial(Xoshiro256& rng, std::uint64_t n, double p) {
   return flipped ? n - k : k;
 }
 
+std::uint64_t sample_geometric_failures(Xoshiro256& rng, double p,
+                                        std::uint64_t limit) {
+  UCR_REQUIRE(p >= 0.0 && p <= 1.0, "geometric probability out of range");
+  if (p == 1.0) return 0;
+  if (p == 0.0 || limit == 0) return limit;
+  // Inversion: F = floor(ln(1-u) / ln(1-p)) with u ~ U[0,1). Computed via
+  // log1p for stability at the small p the protocols produce (p ~ 1/k).
+  const double u = rng.next_double();
+  const double failures =
+      std::floor(std::log1p(-u) / std::log1p(-p));
+  if (!(failures < static_cast<double>(limit))) return limit;
+  return static_cast<std::uint64_t>(failures);
+}
+
 std::uint64_t sample_poisson(Xoshiro256& rng, double lambda) {
   UCR_REQUIRE(lambda >= 0.0, "Poisson rate must be non-negative");
   if (lambda == 0.0) return 0;

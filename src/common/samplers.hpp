@@ -24,7 +24,11 @@ namespace ucr {
 
 /// Outcome category of a slot where m stations transmit independently
 /// with probability p each (matches channel::SlotOutcome semantics).
-enum class SlotCategory : std::uint8_t { kSilence = 0, kSuccess = 1, kCollision = 2 };
+enum class SlotCategory : std::uint8_t {
+  kSilence = 0,
+  kSuccess = 1,
+  kCollision = 2
+};
 
 /// Draws the category of Binomial(m, p) in O(1): 0 -> silence,
 /// 1 -> success, >=2 -> collision.
@@ -32,6 +36,15 @@ SlotCategory sample_slot_category(Xoshiro256& rng, std::uint64_t m, double p);
 
 /// Exact Binomial(n, p) sample. Requires 0 <= p <= 1.
 std::uint64_t sample_binomial(Xoshiro256& rng, std::uint64_t n, double p);
+
+/// Number of failures before the first success in i.i.d. Bernoulli(p)
+/// trials, truncated at `limit`: returns min(Geometric(p), limit), where
+/// Geometric(p) counts failures (support 0, 1, 2, ...). Returns `limit`
+/// when p == 0. Requires 0 <= p <= 1. Consumes exactly one uniform draw —
+/// this is what lets the batched fair engine resolve a whole constant-p
+/// run of slots in O(1).
+std::uint64_t sample_geometric_failures(Xoshiro256& rng, double p,
+                                        std::uint64_t limit);
 
 /// Exact Poisson(lambda) sample (inversion for small lambda, split-and-sum
 /// recursion for large lambda). Used by the dynamic-arrival workload.

@@ -89,7 +89,8 @@ Summary summarize(const std::vector<double>& sample) {
   s.p75 = quantile_sorted(sorted, 0.75);
   s.p95 = quantile_sorted(sorted, 0.95);
   if (s.count >= 2) {
-    s.ci95_halfwidth = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+    s.ci95_halfwidth =
+        1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
   }
   return s;
 }

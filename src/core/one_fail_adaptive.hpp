@@ -76,6 +76,12 @@ class OneFailAdaptive final : public FairSlotProtocol {
   double transmit_probability() const override;
   void on_slot_end(bool delivery) override;
 
+  /// The estimator moves every AT step and AT/BT steps alternate, so no
+  /// two consecutive slots share a probability: the batched engine
+  /// degenerates to (and stays bit-identical with) the exact per-slot
+  /// path.
+  std::uint64_t constant_probability_slots() const override { return 1; }
+
   const OneFailState& state() const { return state_; }
 
  private:

@@ -29,7 +29,8 @@ std::vector<ProtocolFactory> paper_protocols() {
 std::vector<ProtocolFactory> extra_protocols() {
   std::vector<ProtocolFactory> protocols;
   protocols.push_back(
-      make_exp_backoff_factory(ExpBackoffParams{2.0}, "Exponential Back-off (r=2)"));
+      make_exp_backoff_factory(ExpBackoffParams{2.0},
+                               "Exponential Back-off (r=2)"));
   protocols.push_back(make_known_k_factory());
   return protocols;
 }

@@ -20,6 +20,14 @@ void KnownKGenie::on_slot_end(bool delivery) {
   }
 }
 
+std::uint64_t KnownKGenie::constant_probability_slots() const {
+  return ~std::uint64_t{0};  // constant until the next delivery
+}
+
+void KnownKGenie::on_non_delivery_slots(std::uint64_t /*count*/) {
+  // Non-delivery slots do not change the genie's state.
+}
+
 KnownKGenieNode::KnownKGenieNode(std::uint64_t k) : remaining_(k) {
   UCR_REQUIRE(k > 0, "genie needs a positive k");
 }
@@ -40,7 +48,9 @@ void KnownKGenieNode::on_slot_end(const Feedback& fb) {
 ProtocolFactory make_known_k_factory(std::string name) {
   ProtocolFactory f;
   f.name = std::move(name);
-  f.fair_slot = [](std::uint64_t k) { return std::make_unique<KnownKGenie>(k); };
+  f.fair_slot = [](std::uint64_t k) {
+    return std::make_unique<KnownKGenie>(k);
+  };
   f.node = [](std::uint64_t k, Xoshiro256&) {
     return std::make_unique<KnownKGenieNode>(k);
   };

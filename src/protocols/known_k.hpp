@@ -25,6 +25,12 @@ class KnownKGenie final : public FairSlotProtocol {
   double transmit_probability() const override;
   void on_slot_end(bool delivery) override;
 
+  /// The genie's probability changes only on deliveries, so the batched
+  /// engine may skip any number of non-delivery slots at once — the whole
+  /// run costs O(k) regardless of makespan.
+  std::uint64_t constant_probability_slots() const override;
+  void on_non_delivery_slots(std::uint64_t count) override;
+
   std::uint64_t remaining() const { return remaining_; }
 
  private:

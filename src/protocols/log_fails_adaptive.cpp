@@ -61,6 +61,37 @@ void LogFailsState::advance(bool heard_delivery) {
   ++step_;
 }
 
+std::uint64_t LogFailsState::constant_probability_slots() const {
+  if (is_bt_step()) return 1;  // the next step is AT with p = 1/kappa
+  const std::uint64_t to_bt_step = bt_period_ - step_ % bt_period_;
+  // A SEARCH->TRACK switch can leave fails_ at or above the (smaller)
+  // TRACK threshold; the very next AT fail then updates kappa.
+  const std::uint64_t threshold = fail_threshold();
+  const std::uint64_t to_threshold =
+      fails_ >= threshold ? 1 : threshold - fails_;
+  return to_bt_step < to_threshold ? to_bt_step : to_threshold;
+}
+
+void LogFailsState::advance_non_delivery(std::uint64_t count) {
+  UCR_CHECK(count <= constant_probability_slots(),
+            "bulk advance beyond the constant-probability horizon");
+  if (is_bt_step()) {
+    // Horizon is 1 here and a BT step is not a fail; replay exactly.
+    for (; count > 0; --count) advance(false);
+    return;
+  }
+  fails_ += count;
+  step_ += count;
+  if (fails_ >= fail_threshold()) {
+    if (searching_) {
+      kappa_ *= 1.0 + params_.xi_delta;
+    } else {
+      kappa_ += static_cast<double>(fails_);
+    }
+    fails_ = 0;
+  }
+}
+
 LogFailsAdaptive::LogFailsAdaptive(const LogFailsParams& params,
                                    std::uint64_t k)
     : state_(params, k) {}
@@ -70,6 +101,14 @@ double LogFailsAdaptive::transmit_probability() const {
 }
 
 void LogFailsAdaptive::on_slot_end(bool delivery) { state_.advance(delivery); }
+
+std::uint64_t LogFailsAdaptive::constant_probability_slots() const {
+  return state_.constant_probability_slots();
+}
+
+void LogFailsAdaptive::on_non_delivery_slots(std::uint64_t count) {
+  state_.advance_non_delivery(count);
+}
 
 LogFailsAdaptiveNode::LogFailsAdaptiveNode(const LogFailsParams& params,
                                            std::uint64_t k)

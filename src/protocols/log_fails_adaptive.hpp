@@ -73,6 +73,18 @@ class LogFailsState {
   double transmit_probability() const;
   void advance(bool heard_delivery);
 
+  /// Slots (including the current one) over which transmit_probability()
+  /// stays constant absent a delivery: up to the next BT step or the next
+  /// fail-threshold crossing, whichever comes first. Always >= 1; the
+  /// batched fair engine uses it to resolve whole runs of AT fails at
+  /// once.
+  std::uint64_t constant_probability_slots() const;
+
+  /// Bulk equivalent of `count` advance(false) calls. Requires
+  /// count <= constant_probability_slots(): every skipped step is then an
+  /// AT fail and at most the final one crosses the fail threshold.
+  void advance_non_delivery(std::uint64_t count);
+
   /// True while no delivery has been heard yet (multiplicative climb).
   bool in_search_phase() const { return searching_; }
 
@@ -111,6 +123,9 @@ class LogFailsAdaptive final : public FairSlotProtocol {
 
   double transmit_probability() const override;
   void on_slot_end(bool delivery) override;
+
+  std::uint64_t constant_probability_slots() const override;
+  void on_non_delivery_slots(std::uint64_t count) override;
 
   const LogFailsState& state() const { return state_; }
 

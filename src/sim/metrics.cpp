@@ -17,7 +17,8 @@ void RunMetrics::validate() const {
   if (completed) {
     UCR_CHECK(deliveries == k, "completed run must deliver exactly k messages");
   } else {
-    UCR_CHECK(deliveries < k, "incomplete run cannot have delivered k messages");
+    UCR_CHECK(deliveries < k,
+              "incomplete run cannot have delivered k messages");
   }
   if (!delivery_slots.empty()) {
     UCR_CHECK(delivery_slots.size() == deliveries,

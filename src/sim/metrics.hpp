@@ -50,6 +50,14 @@ struct EngineOptions {
   std::uint64_t max_slots = 0;
   /// Record the slot index of every delivery (costs O(k) memory).
   bool record_deliveries = false;
+  /// Use the batched fair-engine fast path (sim/fair_engine.hpp):
+  /// O(successes + probability changes) instead of O(slots) for
+  /// slot-probability protocols, O(active stations) instead of O(window
+  /// slots) per window for window protocols. Same law of outcomes as the
+  /// exact engines but a different RNG consumption pattern, so individual
+  /// runs differ; validated statistically (tests/integration). Incompatible
+  /// with `observer` (the skipped slots are never materialized).
+  bool batched = false;
   /// Channel-model extension: stations can distinguish collision from
   /// silence (Feedback::heard_collision). The paper's model — and every
   /// protocol it evaluates — uses false; the CD baselines (stack/tree

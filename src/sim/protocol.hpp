@@ -49,6 +49,25 @@ class FairSlotProtocol {
   /// Advances the shared state; `delivery` is true iff the slot was a
   /// success (every remaining active station heard it).
   virtual void on_slot_end(bool delivery) = 0;
+
+  /// Batching hint for the fast-path engine (sim/fair_engine.hpp): the
+  /// number of upcoming slots — counting the current one — over which
+  /// transmit_probability() is guaranteed constant as long as no delivery
+  /// occurs. Must be >= 1. Protocols whose state drifts every slot (e.g.
+  /// One-Fail Adaptive's +1-per-AT-step estimator, or any AT/BT
+  /// interleaving) return 1, which makes the batched engine fall back to
+  /// the exact per-slot draw. Protocols whose probability changes only on
+  /// deliveries may return an unbounded horizon (UINT64_MAX).
+  virtual std::uint64_t constant_probability_slots() const { return 1; }
+
+  /// Bulk equivalent of `count` consecutive on_slot_end(false) calls; used
+  /// by the batched engine to skip a sampled run of non-delivery slots.
+  /// The default replays the per-slot call and is always correct;
+  /// protocols that advertise a batching horizon > 1 should override it
+  /// with an O(1) update so the skipped slots really cost nothing.
+  virtual void on_non_delivery_slots(std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) on_slot_end(false);
+  }
 };
 
 /// Window-size generator of a contention-window protocol.

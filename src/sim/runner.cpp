@@ -33,10 +33,14 @@ RunMetrics run_single_fair(const ProtocolFactory& factory, std::uint64_t k,
   Xoshiro256 rng = Xoshiro256::stream(seed, run_index);
   if (factory.fair_slot) {
     auto protocol = factory.fair_slot(k);
-    return run_fair_slot_engine(*protocol, k, rng, options);
+    return options.batched
+               ? run_fair_slot_engine_batched(*protocol, k, rng, options)
+               : run_fair_slot_engine(*protocol, k, rng, options);
   }
   auto schedule = factory.window(k);
-  return run_fair_window_engine(*schedule, k, rng, options);
+  return options.batched
+             ? run_fair_window_engine_batched(*schedule, k, rng, options)
+             : run_fair_window_engine(*schedule, k, rng, options);
 }
 
 RunMetrics run_single_node(const ProtocolFactory& factory,

@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -54,16 +55,39 @@ std::vector<AggregateResult> SweepRunner::run(
     }
   }
 
+  // Size-aware dispatch order: largest cells (by the k * runs work proxy)
+  // first, so the dominant cells of a skewed grid are in flight from the
+  // start instead of anchoring the tail. Stable sort keeps grid order
+  // among equals. This only permutes submission; result slots stay
+  // pre-assigned, so outputs are unaffected.
+  std::vector<std::size_t> order(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) order[cell] = cell;
+  if (options_.largest_first) {
+    // Node cells carry their size in `arrivals` (SweepPoint::node sets
+    // k from it, but guard against hand-built cells where k stayed 0).
+    const auto work = [](const SweepPoint& point) {
+      const std::uint64_t size =
+          point.k != 0 ? point.k : point.arrivals.size();
+      return size * point.runs;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&grid, &work](std::size_t a, std::size_t b) {
+                       return work(grid[a]) > work(grid[b]);
+                     });
+  }
+
   // Pre-assigned result slots: metrics[cell][run]. Each work item writes
   // only its own slot, so no synchronization beyond the futures is needed
   // and the assembly below is independent of execution order.
   std::vector<std::vector<RunMetrics>> metrics(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    metrics[cell].resize(grid[cell].runs);
+  }
   std::vector<std::future<void>> pending;
   {
     ThreadPool pool(options_.threads);
-    for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    for (const std::size_t cell : order) {
       const SweepPoint& point = grid[cell];
-      metrics[cell].resize(point.runs);
       for (std::uint64_t r = 0; r < point.runs; ++r) {
         RunMetrics* slot = &metrics[cell][r];
         pending.push_back(pool.submit([&point, r, slot] {
@@ -79,7 +103,7 @@ std::vector<AggregateResult> SweepRunner::run(
   }
 
   // Surface the first work-item exception (if any) in deterministic
-  // (cell, run) order — again independent of scheduling.
+  // submission order — again independent of scheduling.
   for (std::future<void>& f : pending) {
     f.get();
   }

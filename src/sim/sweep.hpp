@@ -8,10 +8,12 @@
 // Determinism guarantee: run r of a cell is seeded Xoshiro256::stream(seed,
 // r) — the substream derivation the serial runner has always used — and
 // every work item writes its RunMetrics into a pre-assigned slot. Scheduling
-// order, work stealing and thread count therefore cannot influence any
-// output bit: SweepRunner with 1 thread, with N threads, and the serial
-// run_fair_experiment / run_node_experiment loops all produce identical
-// results (tests/sim/sweep_test.cpp pins this, down to CSV bytes).
+// order, work stealing, thread count and the size-aware largest-first
+// dispatch (SweepOptions::largest_first) therefore cannot influence any
+// output bit: SweepRunner with 1 thread, with N threads, with either
+// dispatch order, and the serial run_fair_experiment / run_node_experiment
+// loops all produce identical results (tests/sim/sweep_test.cpp pins this,
+// down to CSV bytes).
 #pragma once
 
 #include <cstdint>
@@ -47,6 +49,13 @@ struct SweepPoint {
 struct SweepOptions {
   /// Worker threads; 0 means all hardware threads.
   unsigned threads = 0;
+  /// Size-aware dispatch: submit cells in descending k * runs order so the
+  /// dominant cells of a skewed grid (k = 10^7 next to k = 10) start
+  /// first instead of anchoring the tail of the sweep. Pure scheduling —
+  /// results are written to pre-assigned slots and returned in grid
+  /// order, so every output bit is identical with or without it, for any
+  /// thread count.
+  bool largest_first = true;
 };
 
 /// Executes sweep grids across a worker pool. The pool is created per

@@ -56,7 +56,8 @@ TEST(MakeFeedback, CollisionParticipantLearnsNothingButOwnAction) {
 
 TEST(MakeFeedback, CollisionDetectionModeFlagsCollisions) {
   const Feedback fb =
-      make_feedback(SlotOutcome::kCollision, false, /*collision_detection=*/true);
+      make_feedback(SlotOutcome::kCollision, false,
+                    /*collision_detection=*/true);
   EXPECT_TRUE(fb.heard_collision);
   EXPECT_FALSE(fb.heard_delivery);
   const Feedback participant =

@@ -83,5 +83,55 @@ TEST(EnvHelpers, EmptyStringIsDefault) {
   ::unsetenv("UCR_TEST_ENV_EMPTY");
 }
 
+TEST(ParseThreadCount, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1", "--threads"), 1u);
+  EXPECT_EQ(parse_thread_count("8", "--threads"), 8u);
+  EXPECT_EQ(parse_thread_count("0064", "--threads"), 64u);
+}
+
+TEST(ParseThreadCount, RejectsJunkAndZeroLoudly) {
+  // strtoull-style parsing silently mapped all of these to 0 = "all
+  // cores", hiding typos in experiment scripts.
+  EXPECT_THROW(parse_thread_count("abc", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("4x", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("-1", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("1.5", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count(" 8", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("0", "--threads"), ContractViolation);
+  EXPECT_THROW(parse_thread_count("10000000", "--threads"),
+               ContractViolation);
+}
+
+TEST(ThreadCountOption, FlagTakesPrecedenceOverEnvironment) {
+  ::setenv("UCR_TEST_THREADS", "4", 1);
+  const auto args = parse({"--threads=2"}, {"threads"});
+  EXPECT_EQ(thread_count_option(args, "UCR_TEST_THREADS"), 2u);
+  ::unsetenv("UCR_TEST_THREADS");
+}
+
+TEST(ThreadCountOption, FallsBackToEnvironmentThenAuto) {
+  const auto args = parse({}, {"threads"});
+  ::setenv("UCR_TEST_THREADS", "6", 1);
+  EXPECT_EQ(thread_count_option(args, "UCR_TEST_THREADS"), 6u);
+  ::unsetenv("UCR_TEST_THREADS");
+  EXPECT_EQ(thread_count_option(args, "UCR_TEST_THREADS"), 0u);
+  EXPECT_EQ(thread_count_option(args, nullptr), 0u);
+}
+
+TEST(ThreadCountOption, RejectsBadValuesFromEitherSource) {
+  EXPECT_THROW(
+      thread_count_option(parse({"--threads=junk"}, {"threads"}), nullptr),
+      ContractViolation);
+  EXPECT_THROW(
+      thread_count_option(parse({"--threads=0"}, {"threads"}), nullptr),
+      ContractViolation);
+  ::setenv("UCR_TEST_THREADS", "all", 1);
+  EXPECT_THROW(
+      thread_count_option(parse({}, {"threads"}), "UCR_TEST_THREADS"),
+      ContractViolation);
+  ::unsetenv("UCR_TEST_THREADS");
+}
+
 }  // namespace
 }  // namespace ucr

@@ -92,6 +92,40 @@ TEST(ToU64Saturating, Boundaries) {
   EXPECT_EQ(to_u64_saturating(std::nan("")), 0u);
 }
 
+TEST(KahanSum, PaperScaleAccumulationStaysExact) {
+  // The fair engines accumulate ~10^7 per-slot expectations at paper
+  // scale. 0.1 is not representable in binary, so naive summation drifts
+  // by ~n * eps * |sum|; the compensated sum must stay at O(eps).
+  const int n = 10'000'000;
+  KahanSum compensated;
+  double naive = 0.0;
+  for (int i = 0; i < n; ++i) {
+    compensated.add(0.1);
+    naive += 0.1;
+  }
+  const double exact = 1e6;
+  EXPECT_NEAR(compensated.value(), exact, 1e-6);
+  // The compensated sum must beat naive accumulation (which is off by
+  // ~1e-3 here) by orders of magnitude.
+  EXPECT_LT(std::abs(compensated.value() - exact),
+            std::abs(naive - exact) / 100.0);
+}
+
+TEST(KahanSum, NeumaierHandlesSwampedAddends) {
+  // The classic Kahan update loses the small addend when the new term is
+  // larger than the running sum; Neumaier's branch keeps it.
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.value(), 2.0);
+}
+
+TEST(KahanSum, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(KahanSum{}.value(), 0.0);
+}
+
 TEST(IsPowerOfTen, Classification) {
   EXPECT_FALSE(is_power_of_ten(0));
   EXPECT_TRUE(is_power_of_ten(1));

@@ -189,6 +189,60 @@ TEST(Binomial, BtrsPreconditions) {
   EXPECT_THROW(detail::binomial_btrs(rng, 10, 0.1), ContractViolation);
 }
 
+// --------------------------------------------------------------- geometric
+
+TEST(Geometric, EdgeCases) {
+  Xoshiro256 rng(30);
+  EXPECT_EQ(sample_geometric_failures(rng, 1.0, 100), 0u);
+  EXPECT_EQ(sample_geometric_failures(rng, 0.0, 100), 100u);
+  EXPECT_EQ(sample_geometric_failures(rng, 0.5, 0), 0u);
+  EXPECT_THROW(sample_geometric_failures(rng, -0.1, 10), ContractViolation);
+  EXPECT_THROW(sample_geometric_failures(rng, 1.1, 10), ContractViolation);
+}
+
+TEST(Geometric, NeverExceedsLimit) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(sample_geometric_failures(rng, 1e-6, 37), 37u);
+  }
+}
+
+class GeometricMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricMoments, UntruncatedMeanMatches) {
+  // With the limit far beyond any realistic draw, the mean must match the
+  // geometric failure count (1-p)/p.
+  const double p = GetParam();
+  Xoshiro256 rng(32);
+  RunningStats stats;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    stats.add(static_cast<double>(
+        sample_geometric_failures(rng, p, ~std::uint64_t{0})));
+  }
+  const double mean = (1.0 - p) / p;
+  const double sd = std::sqrt(1.0 - p) / p;
+  EXPECT_NEAR(stats.mean(), mean, 5.0 * sd / std::sqrt(double(trials)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, GeometricMoments,
+                         ::testing::Values(0.9, 0.5, 0.1, 0.01, 1e-4));
+
+TEST(Geometric, TruncatedTailMassMatches) {
+  // P[draw == limit] = P[Geometric(p) >= limit] = (1-p)^limit.
+  const double p = 0.05;
+  const std::uint64_t limit = 20;
+  Xoshiro256 rng(33);
+  const int trials = 200000;
+  int at_limit = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (sample_geometric_failures(rng, p, limit) == limit) ++at_limit;
+  }
+  const double expected = std::pow(1.0 - p, double(limit));
+  EXPECT_NEAR(double(at_limit) / trials, expected,
+              5.0 * std::sqrt(expected / trials));
+}
+
 // ---------------------------------------------------------------- poisson
 
 TEST(Poisson, ZeroRate) {

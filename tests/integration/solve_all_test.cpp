@@ -29,7 +29,8 @@ TEST_P(SolveAll, FairEngineSolves) {
   const auto factory = factory_by_name(name);
   EngineOptions opts;
   opts.record_deliveries = true;
-  const AggregateResult res = run_fair_experiment(factory, k, 5, 20260612, opts);
+  const AggregateResult res =
+      run_fair_experiment(factory, k, 5, 20260612, opts);
   EXPECT_EQ(res.incomplete_runs, 0u) << name;
   for (const auto& run : res.details) {
     EXPECT_TRUE(run.completed);

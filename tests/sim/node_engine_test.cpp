@@ -163,7 +163,8 @@ TEST(NodeEngine, ListenersHearDeliveries) {
   Xoshiro256 rng(10);
   std::vector<Feedback> heard;
   int instance = 0;
-  const NodeFactory factory = [&](Xoshiro256&) -> std::unique_ptr<NodeProtocol> {
+  const NodeFactory factory =
+      [&](Xoshiro256&) -> std::unique_ptr<NodeProtocol> {
     // First station transmits always; second never (records only).
     if (instance++ == 0) return std::make_unique<AlwaysTransmit>();
     return std::make_unique<Recorder>(&heard, 0.0);

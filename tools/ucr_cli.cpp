@@ -12,6 +12,7 @@
 #include <iostream>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/dynamic_one_fail.hpp"
@@ -44,21 +45,24 @@ int usage(const char* error) {
          "  --k=N             batch size / number of messages (default 1000)\n"
          "  --runs=N          independent runs (default 10)\n"
          "  --seed=N          base seed (default 2011)\n"
-         "  --engine=fair|node  aggregate (default) or per-station engine\n"
+         "  --engine=fair|batched|node   aggregate engine (default), its\n"
+         "                    batched fast path (paper-scale k; same law of\n"
+         "                    outcomes, different RNG path), or the\n"
+         "                    per-station engine\n"
          "  --arrivals=batch|poisson|burst   workload (default batch;\n"
          "                    non-batch workloads force --engine=node)\n"
          "  --lambda=X        Poisson arrival rate in msg/slot (default 0.1)\n"
          "  --bursts=N --gap=N  burst workload shape (default 4 bursts)\n"
          "  --max-slots=N     slot cap (default: engine default)\n"
-         "  --threads=N       sweep worker threads (default 0 = all cores;\n"
-         "                    results are identical for every N)\n"
+         "  --threads=N       sweep worker threads, N >= 1 (default: all\n"
+         "                    cores; results are identical for every N)\n"
          "  --csv=1           emit the aggregate row as CSV\n";
   return 2;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
                           {"protocol", "k", "runs", "seed", "engine",
                            "arrivals", "lambda", "bursts", "gap",
@@ -79,16 +83,25 @@ int main(int argc, char** argv) {
   const std::uint64_t runs = args.get_u64("runs", 10);
   const std::uint64_t seed = args.get_u64("seed", 2011);
   const std::string engine = args.get("engine").value_or("fair");
+  if (engine != "fair" && engine != "batched" && engine != "node") {
+    return usage("unknown --engine (fair, batched or node)");
+  }
   const std::string arrivals_kind = args.get("arrivals").value_or("batch");
-  const unsigned threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  if (engine == "batched" && arrivals_kind != "batch") {
+    return usage(
+        "--engine=batched requires batched arrivals (non-batch workloads "
+        "run per-station: use --engine=node)");
+  }
+  const unsigned threads = ucr::thread_count_option(args, "UCR_THREADS");
 
   ucr::EngineOptions options;
   options.max_slots = args.get_u64("max-slots", 0);
+  options.batched = engine == "batched";
 
   // Every path is one sweep cell; SweepRunner spreads its `runs` across the
   // worker threads with bit-identical output for any --threads value.
   ucr::SweepPoint point;
-  if (arrivals_kind == "batch" && engine == "fair") {
+  if (arrivals_kind == "batch" && engine != "node") {
     if (!factory->has_fair()) return usage("protocol has no fair view");
     point = ucr::SweepPoint::fair(*factory, k, runs, seed, options);
   } else {
@@ -134,4 +147,13 @@ int main(int argc, char** argv) {
   table.add_row({"incomplete runs", std::to_string(result.incomplete_runs)});
   table.print(std::cout);
   return result.incomplete_runs == 0 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const ucr::ContractViolation& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
