@@ -13,7 +13,6 @@
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/known_k.hpp"
 #include "protocols/stack_tree.hpp"
-#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
@@ -21,28 +20,24 @@ int main(int argc, char** argv) {
   std::cout << "=== Collision detection vs the paper's model "
             << "(ratio steps/k, " << cfg.runs << " runs) ===\n\n";
 
-  const auto ofa = ucr::make_one_fail_factory();
-  const auto ebobo = ucr::make_exp_backon_factory();
-  const auto genie = ucr::make_known_k_factory();
-
   std::vector<std::uint64_t> ks;
   for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) ks.push_back(k);
 
-  // The three fair protocols sweep in parallel; the stack tree runs its own
-  // dedicated aggregate simulation (no ProtocolFactory view) serially — it
-  // is the cheapest column by far.
-  std::vector<ucr::SweepPoint> points;
-  points.reserve(ks.size() * 3);
-  for (const auto k : ks) {
-    points.push_back(ucr::SweepPoint::fair(ofa, k, cfg.runs, cfg.seed,
-                                           cfg.engine_options()));
-    points.push_back(ucr::SweepPoint::fair(ebobo, k, cfg.runs, cfg.seed,
-                                           cfg.engine_options()));
-    points.push_back(ucr::SweepPoint::fair(genie, k, cfg.runs, cfg.seed,
-                                           cfg.engine_options()));
+  // The three fair protocols are one spec (protocol-major grid); the stack
+  // tree runs its own dedicated aggregate simulation (no ProtocolFactory
+  // view) serially — it is the cheapest column by far.
+  auto spec = cfg.spec().with_ks(ks);
+  spec.with_factory(ucr::make_one_fail_factory())
+      .with_factory(ucr::make_exp_backon_factory())
+      .with_factory(ucr::make_known_k_factory());
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid "
+              << "(stack-tree column omitted on sharded runs):\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
   }
-  const auto results =
-      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
 
   ucr::Table table({"k", "stack-tree (CD)", "One-Fail (no CD)",
                     "Sawtooth (no CD)", "genie (knows k)"});
@@ -56,9 +51,9 @@ int main(int argc, char** argv) {
     }
     const double stack_ratio = stack_sum / static_cast<double>(cfg.runs);
 
-    const auto& r_ofa = results[j * 3];
-    const auto& r_ebobo = results[j * 3 + 1];
-    const auto& r_genie = results[j * 3 + 2];
+    const auto& r_ofa = run.results[0 * ks.size() + j];
+    const auto& r_ebobo = run.results[1 * ks.size() + j];
+    const auto& r_genie = run.results[2 * ks.size() + j];
 
     table.add_row({std::to_string(k), ucr::format_double(stack_ratio, 2),
                    ucr::format_double(r_ofa.ratio.mean, 2),

@@ -14,7 +14,6 @@
 #include "common/table.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
-#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 10000);
@@ -23,25 +22,29 @@ int main(int argc, char** argv) {
   std::cout << "=== delta ablation at k = " << k << " (" << cfg.runs
             << " runs) ===\n\n";
 
-  // Both ablation axes run as one sweep; the grid is the OFA deltas
-  // followed by the EBOBO deltas, in listed order.
+  // Both ablation axes run as one spec; the grid is the OFA deltas
+  // followed by the EBOBO deltas, in listed order (explicit factories —
+  // a registry name cannot carry the swept parameter).
   const std::vector<double> ofa_deltas{2.72, 2.75, 2.80, 2.85, 2.90, 2.99};
   const std::vector<double> ebobo_deltas{0.05, 0.10, 0.20, 0.30, 0.366};
 
-  std::vector<ucr::SweepPoint> points;
-  points.reserve(ofa_deltas.size() + ebobo_deltas.size());
+  auto spec = cfg.spec().with_ks({k});
   for (const double delta : ofa_deltas) {
-    points.push_back(ucr::SweepPoint::fair(
-        ucr::make_one_fail_factory(ucr::OneFailParams{delta}, "ofa"), k,
-        cfg.runs, cfg.seed, cfg.engine_options()));
+    spec.with_factory(
+        ucr::make_one_fail_factory(ucr::OneFailParams{delta}, "ofa"));
   }
   for (const double delta : ebobo_deltas) {
-    points.push_back(ucr::SweepPoint::fair(
-        ucr::make_exp_backon_factory(ucr::ExpBackonParams{delta}, "ebobo"), k,
-        cfg.runs, cfg.seed, cfg.engine_options()));
+    spec.with_factory(
+        ucr::make_exp_backon_factory(ucr::ExpBackonParams{delta}, "ebobo"));
   }
-  const auto results =
-      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
+  }
+  const auto& results = run.results;
 
   {
     std::cout << "One-Fail Adaptive (admissible: e < delta <= 2.9906)\n";

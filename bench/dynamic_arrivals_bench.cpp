@@ -3,74 +3,43 @@
 // the paper's protocols under non-batched arrivals, plus an adversarial
 // burst pattern. Uses the per-node engine: with staggered arrivals station
 // states genuinely diverge and the fair aggregate engine does not apply.
+//
+// The whole study is ONE ExperimentSpec: heterogeneous per-run workloads
+// are first-class sweep cells (a Poisson ArrivalSpec re-samples the
+// pattern for every run from its reserved substream), so the harness
+// shares the parallel SweepRunner pipeline with every other driver
+// instead of driving the ThreadPool by hand, and per-message latencies
+// ride along in the aggregates via EngineOptions::record_latencies.
 #include <cstdint>
-#include <future>
 #include <iostream>
 
 #include "harness_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 #include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
-#include "sim/node_engine.hpp"
 
 namespace {
 
-struct DynResult {
-  double mean_makespan = 0.0;
-  double mean_latency = 0.0;
-  double p95_latency = 0.0;
+/// Per-cell latency digest over the concatenated per-run latencies (run
+/// order, so deterministic for any thread count).
+struct LatencyDigest {
+  double mean = 0.0;
+  double p95 = 0.0;
   double fairness = 0.0;  // Jain index over per-message latencies
-  std::uint64_t incomplete = 0;
 };
 
-DynResult run_dynamic(const ucr::ProtocolFactory& factory,
-                      const std::vector<ucr::ArrivalPattern>& workloads,
-                      std::uint64_t seed, unsigned threads) {
-  // Each workload runs on its own worker with its pre-derived RNG substream
-  // (stream(seed, 1000 + r), as the serial loop always seeded) and commits
-  // into slot r, so the per-run results — and the latency concatenation
-  // order below — are identical for every thread count.
-  std::vector<ucr::RunMetrics> runs(workloads.size());
-  std::vector<ucr::LatencyMetrics> run_latencies(workloads.size());
-  {
-    ucr::ThreadPool pool(threads);
-    std::vector<std::future<void>> pending;
-    for (std::size_t r = 0; r < workloads.size(); ++r) {
-      pending.push_back(pool.submit([&factory, &workloads, &runs,
-                                     &run_latencies, seed, r] {
-        ucr::Xoshiro256 rng = ucr::Xoshiro256::stream(seed, 1000 + r);
-        const std::uint64_t k = workloads[r].size();
-        const ucr::NodeFactory node_factory = [&](ucr::Xoshiro256& node_rng) {
-          return factory.node(k, node_rng);
-        };
-        // Finite cap: a protocol may livelock under sustained arrivals (One-
-        // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
-        // are reported through the `incomplete` column, not waited out.
-        ucr::EngineOptions opts;
-        opts.max_slots = 300000;
-        runs[r] = ucr::run_node_engine(node_factory, workloads[r], rng, opts,
-                                       &run_latencies[r]);
-      }));
-    }
-    for (auto& f : pending) f.get();
-  }
-
-  DynResult out;
-  std::vector<double> makespans;
+LatencyDigest digest_latencies(const ucr::AggregateResult& result) {
   std::vector<double> latencies;
-  for (std::size_t r = 0; r < workloads.size(); ++r) {
-    if (!runs[r].completed) ++out.incomplete;
-    makespans.push_back(static_cast<double>(runs[r].slots));
-    for (auto l : run_latencies[r].latencies) {
+  for (const auto& run : result.details) {
+    for (const auto l : run.latencies) {
       latencies.push_back(static_cast<double>(l));
     }
   }
-  out.mean_makespan = ucr::summarize(makespans).mean;
-  const auto lat = ucr::summarize(latencies);
-  out.mean_latency = lat.mean;
-  out.p95_latency = lat.p95;
+  LatencyDigest out;
+  const auto summary = ucr::summarize(latencies);
+  out.mean = summary.mean;
+  out.p95 = summary.p95;
   if (!latencies.empty()) {
     out.fairness = ucr::jain_fairness_index(latencies);
   }
@@ -86,48 +55,59 @@ int main(int argc, char** argv) {
   std::cout << "=== Dynamic arrivals (k = " << k << ", " << cfg.runs
             << " runs per cell, per-node engine) ===\n\n";
 
-  auto protocols = ucr::paper_protocols();
-  // This repo's future-work variant (DESIGN.md / dynamic_one_fail.hpp).
-  protocols.push_back(ucr::make_dynamic_one_fail_factory());
+  const std::vector<double> lambdas{0.02, 0.1, 0.5};
 
-  for (const double lambda : {0.02, 0.1, 0.5}) {
-    std::cout << "Poisson arrivals, lambda = " << lambda << " msg/slot\n";
+  auto spec = cfg.spec().with_ks({k});
+  spec.engine = ucr::exp::EngineMode::kNode;  // staggered arrivals
+  // Finite cap: a protocol may livelock under sustained arrivals (One-
+  // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
+  // are reported through the `incomplete` column, not waited out.
+  spec.engine_options.max_slots = 300000;
+  spec.engine_options.record_latencies = true;
+  for (const double lambda : lambdas) {
+    spec.with_arrival(ucr::exp::ArrivalSpec::poisson(lambda));
+  }
+  spec.with_arrival(ucr::exp::ArrivalSpec::burst(4, 64));
+  for (const auto& factory : ucr::paper_protocols()) {
+    spec.with_factory(factory);
+  }
+  // This repo's future-work variant (DESIGN.md / dynamic_one_fail.hpp).
+  spec.with_factory(ucr::make_dynamic_one_fail_factory());
+  const std::size_t protocol_count = spec.protocols.size();
+  const std::size_t arrival_count = spec.arrivals.size();
+
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
+  }
+
+  // Cells are protocol-major: cell (p, a) = p * arrival_count + a. Render
+  // one table per arrival workload, protocols as rows.
+  for (std::size_t a = 0; a < arrival_count; ++a) {
+    if (a < lambdas.size()) {
+      std::cout << "Poisson arrivals, lambda = " << lambdas[a]
+                << " msg/slot\n";
+    } else {
+      std::cout << "Adversarial bursts: 4 bursts of " << k / 4
+                << " messages, gap 64 slots\n";
+    }
     ucr::Table table(
         {"protocol", "mean makespan", "mean latency", "p95 latency",
          "fairness", "incomplete"});
-    for (const auto& factory : protocols) {
-      std::vector<ucr::ArrivalPattern> workloads;
-      for (std::uint64_t r = 0; r < cfg.runs; ++r) {
-        ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(cfg.seed, r);
-        workloads.push_back(ucr::poisson_arrivals(k, lambda, arrival_rng));
-      }
-      const DynResult res =
-          run_dynamic(factory, workloads, cfg.seed, cfg.threads);
-      table.add_row({factory.name, ucr::format_count(res.mean_makespan),
-                     ucr::format_double(res.mean_latency, 1),
-                     ucr::format_double(res.p95_latency, 1),
-                     ucr::format_double(res.fairness, 3),
-                     std::to_string(res.incomplete)});
+    for (std::size_t p = 0; p < protocol_count; ++p) {
+      const auto& res = run.results[p * arrival_count + a];
+      const LatencyDigest lat = digest_latencies(res);
+      table.add_row({res.protocol, ucr::format_count(res.makespan.mean),
+                     ucr::format_double(lat.mean, 1),
+                     ucr::format_double(lat.p95, 1),
+                     ucr::format_double(lat.fairness, 3),
+                     std::to_string(res.incomplete_runs)});
     }
     table.print(std::cout);
     std::cout << '\n';
   }
-
-  std::cout << "Adversarial bursts: 4 bursts of " << k / 4 << " messages, "
-            << "gap 64 slots\n";
-  ucr::Table table({"protocol", "mean makespan", "mean latency",
-                    "p95 latency", "fairness", "incomplete"});
-  for (const auto& factory : protocols) {
-    const auto workload = ucr::burst_arrivals(4, k / 4, 64);
-    std::vector<ucr::ArrivalPattern> workloads(cfg.runs, workload);
-    const DynResult res =
-        run_dynamic(factory, workloads, cfg.seed, cfg.threads);
-    table.add_row({factory.name, ucr::format_count(res.mean_makespan),
-                   ucr::format_double(res.mean_latency, 1),
-                   ucr::format_double(res.p95_latency, 1),
-                   ucr::format_double(res.fairness, 3),
-                   std::to_string(res.incomplete)});
-  }
-  table.print(std::cout);
   return 0;
 }

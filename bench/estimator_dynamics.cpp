@@ -13,23 +13,33 @@
 #include "common/table.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/log_fails_adaptive.hpp"
-#include "sim/fair_engine.hpp"
 #include "sim/observer.hpp"
 
 namespace {
 
-// Prints checkpoints of kappa~/kappa along one run of a slot protocol.
-void trace(const char* name, ucr::FairSlotProtocol& protocol,
-           std::uint64_t k, std::uint64_t seed, bool at_steps_are_odd) {
+// Prints checkpoints of kappa~/kappa along one run of a slot protocol,
+// executed as a single-cell, single-run ExperimentSpec with the observer
+// attached (the only spec shape a shared per-slot observer is valid for).
+// Runs through compile()/run_collect() directly — NOT bench::run_spec —
+// because this harness traces twice and run_spec would truncate a shared
+// UCR_CSV_OUT archive on the second call (observer traces are not
+// aggregate archives anyway).
+void trace(const char* name, const ucr::bench::HarnessConfig& cfg,
+           ucr::ProtocolFactory factory, std::uint64_t k,
+           bool at_steps_are_odd) {
   ucr::DownsampledSeries series(1);
-  ucr::EngineOptions opts;
-  opts.observer = &series;
-  ucr::Xoshiro256 rng(seed);
-  const ucr::RunMetrics run =
-      ucr::run_fair_slot_engine(protocol, k, rng, opts);
+  auto spec = cfg.spec().with_ks({k});
+  spec.runs = 1;
+  spec.engine = ucr::exp::EngineMode::kFair;  // observers need exact slots
+  spec.shard = {};  // a single-trace spec is never sharded
+  spec.engine_options.observer = &series;
+  spec.with_factory(std::move(factory));
+  const auto results =
+      ucr::exp::run_collect(ucr::exp::compile(spec), {cfg.threads});
+  const ucr::RunMetrics& metrics = results.front().details.front();
 
-  std::cout << name << " (k = " << k << ", makespan " << run.slots
-            << ", ratio " << ucr::format_double(run.ratio(), 2) << ")\n";
+  std::cout << name << " (k = " << k << ", makespan " << metrics.slots
+            << ", ratio " << ucr::format_double(metrics.ratio(), 2) << ")\n";
   ucr::Table table({"slot", "kappa (true)", "kappa~ (1/p on AT)",
                     "kappa~/kappa"});
   const auto& s = series.series();
@@ -54,18 +64,19 @@ void trace(const char* name, ucr::FairSlotProtocol& protocol,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
+  auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
   const std::uint64_t k = cfg.k_max;
+  cfg.batched = false;  // per-slot observers require the exact engine
 
   std::cout << "=== Density-estimator trajectories (observer hook) ===\n\n";
 
-  ucr::OneFailAdaptive ofa;
-  trace("One-Fail Adaptive", ofa, k, cfg.seed, /*at_steps_are_odd=*/true);
-
-  ucr::LogFailsParams lfa_params;
-  ucr::LogFailsAdaptive lfa(lfa_params, k);
-  trace("Log-Fails Adaptive (2)", lfa, k, cfg.seed,
+  trace("One-Fail Adaptive", cfg, ucr::make_one_fail_factory(), k,
         /*at_steps_are_odd=*/true);
+
+  trace("Log-Fails Adaptive (2)", cfg,
+        ucr::make_log_fails_factory(ucr::LogFailsParams{},
+                                    "Log-Fails Adaptive (2)"),
+        k, /*at_steps_are_odd=*/true);
 
   std::cout << "kappa~/kappa -> ~1 during the drain is what produces the "
                "constant Table 1 ratios;\nLog-Fails' long kappa~ << kappa "

@@ -6,16 +6,13 @@
 // Paper setting: k = 10^1..10^7, 10 runs per point, delta = 2.72 (OFA),
 // delta = 0.366 (EBOBO), xi_delta = xi_beta = 0.1 and epsilon ~= 1/(k+1)
 // (LFA, xi_t in {1/2, 1/10}), r = 2 (LLIBO).
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
 
 #include "harness_common.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
-#include "sim/resultio.hpp"
-#include "sim/sweep.hpp"
+#include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 1000000);
@@ -26,34 +23,29 @@ int main(int argc, char** argv) {
             << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
             << ") ===\n\n";
 
-  // The protocol x k grid runs as one parallel sweep; results come back in
-  // grid order, so cell (i, j) is protocol i at ks[j].
-  std::vector<ucr::SweepPoint> points;
-  points.reserve(protocols.size() * ks.size());
-  for (const auto& factory : protocols) {
-    for (const auto k : ks) {
-      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed,
-                                             cfg.engine_options()));
-    }
-  }
-  const auto flat =
-      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
+  // The protocol x k grid is one declarative spec; run_spec executes it on
+  // the shared pipeline (results in grid order, UCR_CSV_OUT streaming,
+  // --shard partitioning all inherited).
+  auto spec = cfg.spec().with_ks(ks);
+  for (const auto& factory : protocols) spec.with_factory(factory);
+  const auto run = ucr::bench::run_spec(cfg, spec);
 
-  // protocol x k -> aggregate
-  std::vector<std::vector<ucr::AggregateResult>> grid;
-  grid.reserve(protocols.size());
-  for (std::size_t i = 0; i < protocols.size(); ++i) {
-    grid.emplace_back(flat.begin() + i * ks.size(),
-                      flat.begin() + (i + 1) * ks.size());
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
   }
 
+  // protocol x k -> aggregate (cells arrive protocol-major, in grid order).
+  const auto& flat = run.results;
   std::vector<std::string> header{"k"};
   for (const auto& factory : protocols) header.push_back(factory.name);
   ucr::Table table(header);
   for (std::size_t j = 0; j < ks.size(); ++j) {
     std::vector<std::string> row{std::to_string(ks[j])};
     for (std::size_t i = 0; i < protocols.size(); ++i) {
-      row.push_back(ucr::format_double(grid[i][j].makespan.mean, 0));
+      row.push_back(
+          ucr::format_double(flat[i * ks.size() + j].makespan.mean, 0));
     }
     table.add_row(std::move(row));
   }
@@ -65,7 +57,7 @@ int main(int argc, char** argv) {
                  "min_steps", "max_steps"});
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     for (std::size_t j = 0; j < ks.size(); ++j) {
-      const auto& res = grid[i][j];
+      const auto& res = flat[i * ks.size() + j];
       csv.write_row({protocols[i].name, std::to_string(ks[j]),
                      ucr::format_double(res.makespan.mean, 1),
                      ucr::format_double(res.makespan.ci95_halfwidth, 1),
@@ -74,20 +66,5 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "END CSV\n";
-
-  // Optional archival: UCR_CSV_OUT=<path> persists the aggregate rows in
-  // the resultio format (re-readable via read_aggregate_csv).
-  if (const char* out = std::getenv("UCR_CSV_OUT");
-      out != nullptr && *out != '\0') {
-    std::vector<ucr::AggregateRow> rows;
-    for (const auto& protocol_row : grid) {
-      for (const auto& res : protocol_row) {
-        rows.push_back(ucr::AggregateRow::from(res));
-      }
-    }
-    std::ofstream file(out);
-    ucr::write_aggregate_csv(file, rows);
-    std::cout << "(aggregate rows written to " << out << ")\n";
-  }
   return 0;
 }

@@ -14,6 +14,19 @@
 //                               of outcomes as the exact engines but a
 //                               different RNG path, so per-run numbers
 //                               differ; means/quantiles agree
+//   --shard=i/N  / UCR_SHARD    own shard i of N of the flattened grid
+//                               (cross-machine sweeps; concatenated
+//                               UCR_CSV_OUT files are byte-identical to
+//                               the unsharded sweep)
+//
+// Harnesses describe their grid as an ExperimentSpec (exp/spec.hpp) and
+// execute it with run_spec() below — the same spec -> plan -> sink
+// pipeline ucr_cli drives — so there are no per-harness grid loops and
+// every harness inherits sharding and streaming archival for free:
+// UCR_CSV_OUT=<path> streams the aggregate rows in the sim/resultio
+// format and UCR_JSONL_OUT=<path> the JSONL form (use the latter for
+// grids with several arrival workloads — CSV rows cannot name the
+// workload), both while the sweep is still running.
 //
 // Results are bit-identical for every thread count (see sim/sweep.hpp), so
 // --threads is purely a wall-clock knob; --batched is the paper-scale
@@ -21,14 +34,24 @@
 //
 // Full-scale reproduction of the paper (k up to 10^7) is run with
 // UCR_KMAX=10000000; defaults are sized so that `for b in build/bench/*`
-// finishes in minutes on one core. EXPERIMENTS.md records both.
+// finishes in minutes on one core. EXPERIMENTS.md records both the
+// single-machine and the sharded invocation.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/table.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/sink.hpp"
+#include "exp/spec.hpp"
 #include "sim/metrics.hpp"
 
 namespace ucr::bench {
@@ -39,26 +62,107 @@ struct HarnessConfig {
   std::uint64_t seed;
   unsigned threads;
   bool batched;
+  exp::ShardSpec shard;
 
-  /// Engine options for the harness's fair sweep cells.
-  EngineOptions engine_options() const {
-    EngineOptions options;
-    options.batched = batched;
-    return options;
+  /// Spec pre-filled with this harness invocation's runs / seed / engine
+  /// mode / shard; the harness adds its protocol, k and arrival axes.
+  exp::ExperimentSpec spec() const {
+    exp::ExperimentSpec spec;
+    spec.runs = runs;
+    spec.seed = seed;
+    spec.engine =
+        batched ? exp::EngineMode::kBatched : exp::EngineMode::kFair;
+    spec.shard = shard;
+    return spec;
   }
 };
 
 inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
                                           std::uint64_t default_kmax) {
   const CliArgs args(argc, argv,
-                     {"kmax", "runs", "seed", "threads", "batched"});
+                     {"kmax", "runs", "seed", "threads", "batched", "shard"});
   HarnessConfig cfg;
   cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
   cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
   cfg.seed = args.get_u64("seed", env_u64("UCR_SEED", 2011));
   cfg.threads = thread_count_option(args, "UCR_THREADS");
   cfg.batched = args.get_bool("batched", env_u64("UCR_BATCHED", 0) != 0);
+  std::optional<std::string> shard = args.get("shard");
+  if (!shard) {
+    if (const char* env = std::getenv("UCR_SHARD")) shard = std::string(env);
+  }
+  if (shard) cfg.shard = exp::ShardSpec::parse(*shard);
   return cfg;
+}
+
+/// This shard's cells and their aggregates, in grid order. For an
+/// unsharded run cells[i].index == i, so pivot-table harnesses can index
+/// the results directly by grid position.
+struct SpecRun {
+  std::vector<exp::CellInfo> cells;
+  std::vector<AggregateResult> results;
+};
+
+/// Compiles and runs a harness spec through the shared pipeline with the
+/// caller's sinks. When UCR_CSV_OUT is set (and non-empty), the rows also
+/// stream to that file as cells complete (header on shard 0 only, so
+/// per-shard files concatenate to the unsharded archive). UCR_JSONL_OUT
+/// streams the JSONL form the same way — the archive to use for
+/// heterogeneous-arrival grids, where the flat CSV row cannot name the
+/// workload and rows of different arrival cells would be
+/// indistinguishable.
+inline void run_spec_with_sinks(const HarnessConfig& cfg,
+                                const exp::ExperimentSpec& spec,
+                                std::vector<exp::ResultSink*> sinks) {
+  const exp::ExperimentPlan plan = exp::compile(spec);
+  const auto open_archive = [](const char* env, std::ofstream& file) {
+    const char* out = std::getenv(env);
+    if (out == nullptr || *out == '\0') return false;  // unset/empty: off
+    file.open(out);
+    UCR_REQUIRE(file.is_open(), std::string("cannot open ") + env +
+                                    " path '" + out + "'");
+    return true;
+  };
+  std::ofstream csv_file;
+  std::optional<exp::CsvStreamSink> csv;
+  if (open_archive("UCR_CSV_OUT", csv_file)) {
+    csv.emplace(csv_file);
+    sinks.push_back(&*csv);
+  }
+  std::ofstream jsonl_file;
+  std::optional<exp::JsonlSink> jsonl;
+  if (open_archive("UCR_JSONL_OUT", jsonl_file)) {
+    jsonl.emplace(jsonl_file);
+    sinks.push_back(&*jsonl);
+  }
+  exp::run(plan, sinks, {cfg.threads});
+}
+
+/// run_spec_with_sinks through a MemorySink — the fit for table-rendering
+/// harnesses. Harnesses that post-process heavy per-run details should
+/// pass their own digesting sink to run_spec_with_sinks instead, so the
+/// details are dropped cell by cell.
+inline SpecRun run_spec(const HarnessConfig& cfg,
+                        const exp::ExperimentSpec& spec) {
+  exp::MemorySink memory;
+  run_spec_with_sinks(cfg, spec, {&memory});
+  return SpecRun{memory.cells(), memory.take_results()};
+}
+
+/// Flat per-cell listing, the rendering for sharded invocations (a pivot
+/// table over the full grid cannot be assembled from one shard's block).
+inline void print_cells(std::ostream& os, const SpecRun& run) {
+  Table table({"cell", "protocol", "k", "arrivals", "mean makespan",
+               "mean ratio", "incomplete"});
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const AggregateResult& res = run.results[i];
+    table.add_row({std::to_string(run.cells[i].index), res.protocol,
+                   std::to_string(res.k), run.cells[i].arrival.label(),
+                   format_double(res.makespan.mean, 1),
+                   format_double(res.ratio.mean, 3),
+                   std::to_string(res.incomplete_runs)});
+  }
+  table.print(os);
 }
 
 }  // namespace ucr::bench

@@ -8,6 +8,10 @@
 // conservative it is: the mean singleton fraction is ~1/e ≈ 0.3679,
 // comfortably above delta = 0.366 only once m is large — which is precisely
 // why the lemma needs its m >= tau threshold.
+//
+// This is the one harness that stays off the ExperimentSpec pipeline: it
+// samples the balls-in-bins process directly (no protocol, no engine), so
+// there is no sweep grid to declare.
 #include <cstdint>
 #include <iostream>
 

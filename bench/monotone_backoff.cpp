@@ -13,7 +13,7 @@
 #include "protocols/exp_backoff.hpp"
 #include "protocols/loglog_backoff.hpp"
 #include "protocols/poly_backoff.hpp"
-#include "sim/sweep.hpp"
+#include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
@@ -33,25 +33,24 @@ int main(int argc, char** argv) {
       ucr::make_poly_backoff_factory(ucr::PolyBackoffParams{2.0}));
 
   const auto ks = ucr::paper_k_sweep(cfg.k_max);
+  auto spec = cfg.spec().with_ks(ks);
+  for (const auto& factory : protocols) spec.with_factory(factory);
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
+  }
+
   std::vector<std::string> header{"protocol"};
   for (const auto k : ks) header.push_back(std::to_string(k));
-  std::vector<ucr::SweepPoint> points;
-  points.reserve(protocols.size() * ks.size());
-  for (const auto& factory : protocols) {
-    for (const auto k : ks) {
-      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed,
-                                             cfg.engine_options()));
-    }
-  }
-  const auto results =
-      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
-
   ucr::Table table(header);
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     std::vector<std::string> row{protocols[i].name};
     for (std::size_t j = 0; j < ks.size(); ++j) {
       row.push_back(
-          ucr::format_double(results[i * ks.size() + j].ratio.mean, 1));
+          ucr::format_double(run.results[i * ks.size() + j].ratio.mean, 1));
     }
     table.add_row(std::move(row));
   }

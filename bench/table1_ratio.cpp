@@ -12,7 +12,7 @@
 #include "harness_common.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
-#include "sim/sweep.hpp"
+#include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 1000000);
@@ -23,26 +23,25 @@ int main(int argc, char** argv) {
             << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
             << ") ===\n\n";
 
+  auto spec = cfg.spec().with_ks(ks);
+  for (const auto& factory : protocols) spec.with_factory(factory);
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
+  }
+
   std::vector<std::string> header{"k"};
   for (const auto k : ks) header.push_back(std::to_string(k));
   header.push_back("Analysis");
-
-  std::vector<ucr::SweepPoint> points;
-  points.reserve(protocols.size() * ks.size());
-  for (const auto& factory : protocols) {
-    for (const auto k : ks) {
-      points.push_back(ucr::SweepPoint::fair(factory, k, cfg.runs, cfg.seed,
-                                             cfg.engine_options()));
-    }
-  }
-  const auto results =
-      ucr::SweepRunner(ucr::SweepOptions{cfg.threads}).run(points);
 
   ucr::Table table(header);
   for (std::size_t i = 0; i < protocols.size(); ++i) {
     std::vector<std::string> row{protocols[i].name};
     for (std::size_t j = 0; j < ks.size(); ++j) {
-      const auto& res = results[i * ks.size() + j];
+      const auto& res = run.results[i * ks.size() + j];
       row.push_back(ucr::format_double(res.ratio.mean, 1));
     }
     row.push_back(ucr::analysis_cell(protocols[i].name));

@@ -14,6 +14,20 @@
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
 
+namespace {
+
+/// Runs of the cell whose makespan exceeds `bound`.
+std::uint64_t count_exceedances(const ucr::AggregateResult& result,
+                                double bound) {
+  std::uint64_t exceed = 0;
+  for (const auto& run : result.details) {
+    if (static_cast<double>(run.slots) > bound) ++exceed;
+  }
+  return exceed;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 10000);
   const std::uint64_t trials = cfg.runs * 20;  // default 200 runs per point
@@ -23,23 +37,36 @@ int main(int argc, char** argv) {
 
   const double ofa_delta = 2.72;
   const double ebobo_delta = 0.366;
-  const auto ofa =
-      ucr::make_one_fail_factory(ucr::OneFailParams{ofa_delta}, "ofa");
-  const auto ebobo = ucr::make_exp_backon_factory(
-      ucr::ExpBackonParams{ebobo_delta}, "ebobo");
+
+  std::vector<std::uint64_t> ks;
+  for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) ks.push_back(k);
+
+  // One spec, protocol-major (all OFA cells then all EBOBO cells); the
+  // per-run exceedance counts come from the aggregates' details.
+  auto spec = cfg.spec().with_ks(ks);
+  spec.runs = trials;
+  spec.with_factory(
+          ucr::make_one_fail_factory(ucr::OneFailParams{ofa_delta}, "ofa"))
+      .with_factory(ucr::make_exp_backon_factory(
+          ucr::ExpBackonParams{ebobo_delta}, "ebobo"));
+  const auto run = ucr::bench::run_spec(cfg, spec);
+
+  if (!cfg.shard.is_whole()) {
+    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
+    ucr::bench::print_cells(std::cout, run);
+    return 0;
+  }
 
   ucr::Table table({"protocol", "k", "bound (slots)", "worst run", "margin",
                     "P[exceed] emp", "P[fail] theory"});
-  for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) {
+  for (std::size_t j = 0; j < ks.size(); ++j) {
+    const std::uint64_t k = ks[j];
     {
-      const auto res = ucr::run_fair_experiment(ofa, k, trials, cfg.seed, {});
+      const auto& res = run.results[j];  // OFA block
       // Theorem 1 with the additive O(log^2 k) term instantiated at c = 1;
       // the linear term dominates at these k.
       const double bound = ucr::one_fail_bound(ofa_delta, k, 1.0);
-      std::uint64_t exceed = 0;
-      for (const auto& run : res.details) {
-        if (static_cast<double>(run.slots) > bound) ++exceed;
-      }
+      const std::uint64_t exceed = count_exceedances(res, bound);
       table.add_row(
           {"One-Fail Adaptive", std::to_string(k), ucr::format_count(bound),
            ucr::format_count(res.makespan.max),
@@ -49,13 +76,9 @@ int main(int argc, char** argv) {
            ucr::format_double(ucr::one_fail_error(k), 5)});
     }
     {
-      const auto res =
-          ucr::run_fair_experiment(ebobo, k, trials, cfg.seed, {});
+      const auto& res = run.results[ks.size() + j];  // EBOBO block
       const double bound = ucr::exp_backon_bound(ebobo_delta, k);
-      std::uint64_t exceed = 0;
-      for (const auto& run : res.details) {
-        if (static_cast<double>(run.slots) > bound) ++exceed;
-      }
+      const std::uint64_t exceed = count_exceedances(res, bound);
       table.add_row(
           {"Exp Back-on/Back-off", std::to_string(k),
            ucr::format_count(bound), ucr::format_count(res.makespan.max),

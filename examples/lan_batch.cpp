@@ -5,52 +5,56 @@
 //
 // A switch port floods k stations' packets into a shared Ethernet-like
 // channel at once; sweeps k over powers of ten and reports how each
-// strategy's makespan scales. With --csv=1 the series is emitted as CSV
-// for replotting (same shape as Figure 1 of the paper).
+// strategy's makespan scales. The sweep is one declarative ExperimentSpec
+// run through the exp pipeline (the same path ucr_cli and the bench
+// harnesses use); with --csv=1 the aggregate rows stream to stdout in the
+// sim/resultio format (re-readable with read_aggregate_csv) instead of
+// the table.
 #include <cstdint>
 #include <iostream>
 
 #include "common/cli.hpp"
-#include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/registry.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/sink.hpp"
 
 int main(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv, {"kmax", "runs", "seed", "csv"});
   const std::uint64_t k_max = args.get_u64("kmax", 100000);
-  const std::uint64_t runs = args.get_u64("runs", 5);
-  const std::uint64_t seed = args.get_u64("seed", 11);
   const bool csv = args.get_bool("csv", false);
 
-  const auto protocols = ucr::paper_protocols();
-  const auto ks = ucr::paper_k_sweep(k_max);
+  ucr::exp::ExperimentSpec spec;
+  spec.runs = args.get_u64("runs", 5);
+  spec.seed = args.get_u64("seed", 11);
+  spec.with_paper_ks(k_max);
+  for (const auto& p : ucr::paper_protocols()) {
+    spec.with_protocol(p.name);
+  }
+  const auto plan = ucr::exp::compile(spec, ucr::paper_protocols());
 
   if (csv) {
-    ucr::CsvWriter writer(std::cout);
-    writer.write_row({"protocol", "k", "mean_makespan", "ci95", "ratio"});
-    for (const auto& factory : protocols) {
-      for (std::uint64_t k : ks) {
-        const auto res =
-            ucr::run_fair_experiment(factory, k, runs, seed, {});
-        writer.write_row({factory.name, std::to_string(k),
-                          ucr::format_count(res.makespan.mean),
-                          ucr::format_count(res.makespan.ci95_halfwidth),
-                          ucr::format_double(res.ratio.mean, 3)});
-      }
-    }
+    // Streaming sink: rows appear as the grid prefix completes.
+    ucr::exp::CsvStreamSink sink(std::cout);
+    ucr::exp::run(plan, {&sink});
     return 0;
   }
 
+  const auto results = ucr::exp::run_collect(plan);
+  const auto protocols = ucr::paper_protocols();
+  const auto ks = ucr::paper_k_sweep(k_max);
+
   std::cout << "Batched packet contention on a shared LAN channel ("
-            << runs << " runs per point)\n\n";
+            << spec.runs << " runs per point)\n\n";
   std::vector<std::string> header{"k"};
   for (const auto& factory : protocols) header.push_back(factory.name);
   ucr::Table table(header);
-  for (std::uint64_t k : ks) {
-    std::vector<std::string> row{std::to_string(k)};
-    for (const auto& factory : protocols) {
-      const auto res = ucr::run_fair_experiment(factory, k, runs, seed, {});
-      row.push_back(ucr::format_double(res.makespan.mean, 0));
+  for (std::size_t j = 0; j < ks.size(); ++j) {
+    std::vector<std::string> row{std::to_string(ks[j])};
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      row.push_back(
+          ucr::format_double(results[i * ks.size() + j].makespan.mean, 0));
     }
     table.add_row(std::move(row));
   }

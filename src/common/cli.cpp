@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -50,6 +51,17 @@ bool CliArgs::get_bool(const std::string& key, bool def) const {
   const auto v = get(key);
   if (!v) return def;
   return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::uint64_t parse_u64_strict(const std::string& text,
+                               const std::string& source) {
+  UCR_REQUIRE(!text.empty() && text.find_first_not_of("0123456789") ==
+                                   std::string::npos,
+              source + " must be an unsigned integer, got '" + text + "'");
+  errno = 0;
+  const std::uint64_t value = std::strtoull(text.c_str(), nullptr, 10);
+  UCR_REQUIRE(errno == 0, source + " is out of range: '" + text + "'");
+  return value;
 }
 
 unsigned parse_thread_count(const std::string& text,

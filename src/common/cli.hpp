@@ -39,6 +39,13 @@ class CliArgs {
 std::uint64_t env_u64(const char* name, std::uint64_t def);
 double env_double(const char* name, double def);
 
+/// Strict unsigned-64 parsing: decimal digits only, in range, nothing
+/// else. Throws ContractViolation naming `source` otherwise — the shared
+/// loud-failure parser for values where silent truncation or saturation
+/// would corrupt an experiment description (--ks lists, shard selectors).
+std::uint64_t parse_u64_strict(const std::string& text,
+                               const std::string& source);
+
 /// Strict worker-thread-count parsing shared by every binary that takes
 /// --threads / UCR_THREADS. A present value must be a positive decimal
 /// integer: junk ("abc", "4x", "-1") and explicit 0 throw ContractViolation

@@ -90,6 +90,13 @@ class DynamicOneFail final : public FairSlotProtocol {
   double transmit_probability() const override;
   void on_slot_end(bool delivery) override;
 
+  /// Provably hint-1, like OneFailAdaptive: kappa~ moves on every slot —
+  /// +1 per silent track step, doubling (or the sawtooth reset) per
+  /// fast-start step, -(1+delta) on deliveries — so no two consecutive
+  /// slots share a probability and the batched engine degenerates to (and
+  /// stays bit-identical with) the exact per-slot path.
+  std::uint64_t constant_probability_slots() const override { return 1; }
+
   const DynamicOneFailState& state() const { return state_; }
 
  private:

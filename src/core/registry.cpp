@@ -1,5 +1,9 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/exp_backoff.hpp"
@@ -41,6 +45,70 @@ std::vector<ProtocolFactory> all_protocols() {
     protocols.push_back(std::move(p));
   }
   return protocols;
+}
+
+namespace {
+
+std::string lowercase(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Classic dynamic-programming edit distance, for the did-you-mean hint.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+const ProtocolFactory* try_find_protocol(
+    const std::vector<ProtocolFactory>& catalogue, const std::string& name) {
+  for (const ProtocolFactory& p : catalogue) {
+    if (p.name == name) return &p;
+  }
+  const std::string folded = lowercase(name);
+  const ProtocolFactory* loose = nullptr;
+  for (const ProtocolFactory& p : catalogue) {
+    if (lowercase(p.name) != folded) continue;
+    if (loose != nullptr) return nullptr;  // ambiguous: refuse to guess
+    loose = &p;
+  }
+  return loose;
+}
+
+const ProtocolFactory& find_protocol(
+    const std::vector<ProtocolFactory>& catalogue, const std::string& name) {
+  const ProtocolFactory* found = try_find_protocol(catalogue, name);
+  if (found != nullptr) return *found;
+  UCR_REQUIRE(!catalogue.empty(),
+              "unknown protocol '" + name + "' (the catalogue is empty)");
+  const std::string folded = lowercase(name);
+  const ProtocolFactory* closest = &catalogue.front();
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (const ProtocolFactory& p : catalogue) {
+    const std::size_t distance = edit_distance(folded, lowercase(p.name));
+    if (distance < best) {
+      best = distance;
+      closest = &p;
+    }
+  }
+  throw ContractViolation("unknown protocol '" + name + "' — did you mean '" +
+                          closest->name + "'?");
 }
 
 }  // namespace ucr

@@ -2,6 +2,7 @@
 // (Section 5) plus the extra ablation baselines of this repository.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sim/runner.hpp"
@@ -19,5 +20,18 @@ std::vector<ProtocolFactory> extra_protocols();
 
 /// paper_protocols() followed by extra_protocols().
 std::vector<ProtocolFactory> all_protocols();
+
+/// Looks `name` up in a catalogue: first exact match (first wins — the
+/// registry never carries duplicate names, but a user-assembled catalogue
+/// might), then a case-insensitive match, accepted only when unique.
+/// Returns nullptr when nothing (or nothing unambiguous) matches.
+const ProtocolFactory* try_find_protocol(
+    const std::vector<ProtocolFactory>& catalogue, const std::string& name);
+
+/// Same lookup, but a failed match throws ContractViolation whose message
+/// names the closest catalogue entry ("did you mean ...?") — the loud
+/// replacement for the silent last-match-wins linear scan ucr_cli used.
+const ProtocolFactory& find_protocol(
+    const std::vector<ProtocolFactory>& catalogue, const std::string& name);
 
 }  // namespace ucr

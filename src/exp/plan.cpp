@@ -1,0 +1,185 @@
+#include "exp/plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+
+namespace ucr::exp {
+
+namespace {
+
+// Arrival substreams live far above the engine substreams (run r of every
+// cell draws its engine randomness from stream(seed, r), r < runs), so a
+// workload draw can never alias an engine stream. Within the arrival
+// range, (workload cell, run) maps to base + workload_cell * runs + run,
+// where workload_cell indexes the (k, arrival) pair WITHOUT the protocol
+// axis: every protocol of the sweep sees the identical per-run workload
+// draws (a paired design — protocol columns differ only by protocol
+// behaviour, not by workload-sampling noise). Still a pure function of
+// the spec, which is what makes sharded and unsharded compilations of
+// the same grid produce identical workloads.
+constexpr std::uint64_t kArrivalStreamBase = 1ULL << 32;
+
+}  // namespace
+
+ExperimentPlan compile(const ExperimentSpec& spec,
+                       const std::vector<ProtocolFactory>& catalogue) {
+  UCR_REQUIRE(spec.runs > 0, "experiment spec needs runs >= 1");
+  spec.shard.validate();
+
+  // Resolve the protocol axis: names through the catalogue, then explicit
+  // factories, in spec order.
+  std::vector<ProtocolFactory> protocols;
+  protocols.reserve(spec.protocol_names.size() + spec.protocols.size());
+  for (const std::string& name : spec.protocol_names) {
+    protocols.push_back(find_protocol(catalogue, name));
+  }
+  for (const ProtocolFactory& factory : spec.protocols) {
+    protocols.push_back(factory);
+  }
+  UCR_REQUIRE(!protocols.empty(),
+              "experiment spec selects no protocols (add protocol_names "
+              "or explicit factories)");
+
+  // Resolve the k axis.
+  std::vector<std::uint64_t> ks = spec.ks;
+  if (ks.empty()) {
+    UCR_REQUIRE(spec.k_max >= 10,
+                "experiment spec has no k grid: set ks explicitly or "
+                "k_max >= 10 for the paper sweep");
+    ks = paper_k_sweep(spec.k_max);
+  }
+  for (const std::uint64_t k : ks) {
+    UCR_REQUIRE(k > 0, "experiment spec contains a k == 0 cell");
+  }
+
+  // Resolve the arrival axis.
+  std::vector<ArrivalSpec> arrivals = spec.arrivals;
+  if (arrivals.empty()) arrivals.push_back(ArrivalSpec::batch());
+  for (const ArrivalSpec& arrival : arrivals) {
+    arrival.validate();
+    if (spec.engine == EngineMode::kBatched) {
+      UCR_REQUIRE(arrival.is_batch(),
+                  "EngineMode::kBatched requires batch arrivals (non-batch "
+                  "workloads run per-station: use kFair or kNode)");
+    }
+  }
+
+  // Validate engine views against the whole grid up front: a spec that
+  // cannot run should fail at compile(), not mid-sweep.
+  const bool grid_has_node_cells =
+      spec.engine == EngineMode::kNode ||
+      std::any_of(arrivals.begin(), arrivals.end(),
+                  [](const ArrivalSpec& a) { return !a.is_batch(); });
+  const bool grid_has_fair_cells =
+      spec.engine != EngineMode::kNode &&
+      std::any_of(arrivals.begin(), arrivals.end(),
+                  [](const ArrivalSpec& a) { return a.is_batch(); });
+  for (const ProtocolFactory& factory : protocols) {
+    if (grid_has_node_cells) {
+      UCR_REQUIRE(static_cast<bool>(factory.node),
+                  "protocol '" + factory.name +
+                      "' has no per-node view, required by this spec's "
+                      "non-batch or kNode cells");
+    }
+    if (grid_has_fair_cells) {
+      UCR_REQUIRE(factory.has_fair(),
+                  "protocol '" + factory.name +
+                      "' has no fair-engine view, required by this spec's "
+                      "batch cells");
+    }
+  }
+
+  const std::size_t total = protocols.size() * ks.size() * arrivals.size();
+  UCR_CHECK(total > 0, "flattened grid cannot be empty here");
+
+  // A per-slot observer is a single mutable object; it cannot be shared by
+  // concurrent work items, so it is only accepted for a one-run grid.
+  if (spec.engine_options.observer != nullptr) {
+    UCR_REQUIRE(total == 1 && spec.runs == 1,
+                "a per-slot observer can only be attached to a "
+                "single-cell, single-run spec (grids run in parallel)");
+    UCR_REQUIRE(spec.engine != EngineMode::kBatched,
+                "the batched engine never materializes skipped slots; "
+                "per-slot observers require kFair or kNode");
+  }
+
+  // This shard's contiguous block of the flattened grid. 128-bit
+  // intermediate so index * total cannot overflow for pathological counts.
+  const auto shard_bound = [&](std::uint64_t i) {
+    return static_cast<std::size_t>(static_cast<unsigned __int128>(i) *
+                                    total / spec.shard.count);
+  };
+  const std::size_t begin = shard_bound(spec.shard.index);
+  const std::size_t end = shard_bound(spec.shard.index + 1);
+
+  ExperimentPlan plan;
+  plan.total_cells = total;
+  plan.runs = spec.runs;
+  plan.seed = spec.seed;
+  plan.engine = spec.engine;
+  plan.shard = spec.shard;
+  plan.points.reserve(end - begin);
+  plan.cells.reserve(end - begin);
+
+  EngineOptions options = spec.engine_options;
+  options.batched = spec.engine == EngineMode::kBatched;
+
+  const std::uint64_t workload_cells = ks.size() * arrivals.size();
+  std::size_t index = 0;
+  for (const ProtocolFactory& factory : protocols) {
+    for (const std::uint64_t k : ks) {
+      for (const ArrivalSpec& arrival : arrivals) {
+        const std::size_t cell = index++;
+        if (cell < begin || cell >= end) continue;
+
+        CellInfo info;
+        info.index = cell;
+        info.protocol = factory.name;
+        info.k = k;
+        info.arrival = arrival;
+        const bool node_cell =
+            spec.engine == EngineMode::kNode || !arrival.is_batch();
+        info.engine = node_cell ? EngineMode::kNode : spec.engine;
+
+        SweepPoint point;
+        if (!node_cell) {
+          point = SweepPoint::fair(factory, k, spec.runs, spec.seed, options);
+        } else if (arrival.kind == ArrivalSpec::Kind::kPoisson) {
+          // Heterogeneous cell: each run draws its own arrival pattern
+          // from the substream block of its (k, arrival) pair — the same
+          // block for every protocol, so protocols are compared on
+          // identical workload draws.
+          const std::uint64_t stream_base =
+              kArrivalStreamBase +
+              (static_cast<std::uint64_t>(cell) % workload_cells) *
+                  spec.runs;
+          const std::uint64_t seed = spec.seed;
+          point = SweepPoint::node_per_run(
+              factory, k,
+              [arrival, k, seed, stream_base](std::uint64_t run) {
+                return arrival.materialize(k, seed, stream_base + run);
+              },
+              spec.runs, spec.seed, options);
+        } else {
+          point = SweepPoint::node(factory,
+                                   arrival.materialize(k, spec.seed, 0),
+                                   spec.runs, spec.seed, options);
+        }
+        plan.points.push_back(std::move(point));
+        plan.cells.push_back(std::move(info));
+      }
+    }
+  }
+  UCR_CHECK(plan.points.size() == end - begin,
+            "shard block does not match the emitted cell count");
+  return plan;
+}
+
+ExperimentPlan compile(const ExperimentSpec& spec) {
+  return compile(spec, {});
+}
+
+}  // namespace ucr::exp

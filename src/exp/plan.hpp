@@ -1,0 +1,62 @@
+// compile(): ExperimentSpec -> ExperimentPlan.
+//
+// Compilation is where every spec error surfaces — unknown protocol names,
+// missing engine views, malformed shards, empty grids — so run() only ever
+// sees a well-formed plan. The plan owns this shard's SweepPoints plus the
+// metadata sinks need (cell identity, grid position, shard bounds).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "sim/sweep.hpp"
+
+namespace ucr::exp {
+
+/// Identity of one grid cell, as sinks see it.
+struct CellInfo {
+  /// Position in the *full* flattened grid (not shard-relative), so a
+  /// sharded run reports the same indices the unsharded run would.
+  std::size_t index = 0;
+  std::string protocol;
+  std::uint64_t k = 0;
+  ArrivalSpec arrival;
+  /// The engine this cell actually runs on: kNode for non-batch arrivals
+  /// or EngineMode::kNode specs, else the spec's fair/batched mode — the
+  /// distinction matters downstream because batched runs are a different
+  /// sample path than exact-fair runs from the same seed.
+  EngineMode engine = EngineMode::kFair;
+
+  bool node_engine() const { return engine == EngineMode::kNode; }
+};
+
+/// A compiled, validated, shard-filtered sweep: points[i] is the work of
+/// cells[i], in grid order.
+struct ExperimentPlan {
+  std::vector<SweepPoint> points;
+  std::vector<CellInfo> cells;
+  /// Size of the full grid across all shards.
+  std::size_t total_cells = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0;
+  EngineMode engine = EngineMode::kFair;
+  ShardSpec shard;
+};
+
+/// Compiles and validates a spec against a protocol catalogue (names in
+/// spec.protocol_names are resolved with find_protocol — exact, then
+/// unique case-insensitive, then a did-you-mean ContractViolation).
+/// Throws ContractViolation on: no protocols, no k grid (and k_max < 10),
+/// k == 0 cells, runs == 0, invalid shard, invalid arrival parameters, a
+/// protocol lacking the engine view its cells need, EngineMode::kBatched
+/// with non-batch arrivals, or a per-slot observer attached to a grid
+/// with more than one (cell, run) work item.
+ExperimentPlan compile(const ExperimentSpec& spec,
+                       const std::vector<ProtocolFactory>& catalogue);
+
+/// Compiles a spec whose protocols are all explicit factories.
+ExperimentPlan compile(const ExperimentSpec& spec);
+
+}  // namespace ucr::exp

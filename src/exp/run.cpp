@@ -1,0 +1,40 @@
+#include "exp/run.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ucr::exp {
+
+void run(const ExperimentPlan& plan, const std::vector<ResultSink*>& sinks,
+         const RunOptions& options) {
+  for (ResultSink* sink : sinks) {
+    UCR_REQUIRE(sink != nullptr, "null ResultSink attached to run()");
+    sink->begin(plan);
+  }
+  SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  SweepRunner(sweep_options)
+      .run_streaming(plan.points,
+                     [&plan, &sinks](std::size_t cell,
+                                     AggregateResult&& result) {
+                       for (ResultSink* sink : sinks) {
+                         sink->emit(plan.cells[cell], result);
+                       }
+                     });
+  for (ResultSink* sink : sinks) {
+    sink->end();
+  }
+}
+
+std::vector<AggregateResult> run_collect(
+    const ExperimentPlan& plan, const RunOptions& options,
+    const std::vector<ResultSink*>& extra_sinks) {
+  MemorySink memory;
+  std::vector<ResultSink*> sinks{&memory};
+  sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
+  run(plan, sinks, options);
+  return memory.take_results();
+}
+
+}  // namespace ucr::exp

@@ -1,0 +1,37 @@
+// run(): ExperimentPlan -> ResultSink(s), on the parallel SweepRunner.
+//
+// The end of the pipeline. Cells execute across the worker pool and every
+// completed cell is pushed to each sink as soon as the grid prefix up to
+// it is done — in grid order, with bit-identical content for any thread
+// count and dispatch order (the sim/sweep.hpp determinism contract).
+#pragma once
+
+#include <vector>
+
+#include "exp/plan.hpp"
+#include "exp/sink.hpp"
+
+namespace ucr::exp {
+
+struct RunOptions {
+  /// Worker threads; 0 means all hardware threads. (Dispatch is always in
+  /// grid order — sinks consume the completed grid prefix, so size-aware
+  /// reordering would buffer nearly the whole grid before the first row;
+  /// see SweepOptions::largest_first.)
+  unsigned threads = 0;
+};
+
+/// Executes the plan, streaming each cell to every sink in grid order.
+/// Sinks see begin(plan), then one emit per cell, then end() — end() is
+/// only reached when every cell succeeded; an exception from a work item
+/// or a sink propagates after the in-flight items drain.
+void run(const ExperimentPlan& plan, const std::vector<ResultSink*>& sinks,
+         const RunOptions& options = {});
+
+/// Convenience: runs with a MemorySink plus the given extra sinks and
+/// returns the aggregates in grid order.
+std::vector<AggregateResult> run_collect(
+    const ExperimentPlan& plan, const RunOptions& options = {},
+    const std::vector<ResultSink*>& extra_sinks = {});
+
+}  // namespace ucr::exp

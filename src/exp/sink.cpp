@@ -1,0 +1,78 @@
+#include "exp/sink.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace ucr::exp {
+
+void CsvStreamSink::begin(const ExperimentPlan& plan) {
+  if (plan.shard.index == 0) {
+    write_aggregate_header(*os_);
+  }
+}
+
+void CsvStreamSink::emit(const CellInfo& cell, const AggregateResult& result) {
+  (void)cell;
+  write_aggregate_row(*os_, AggregateRow::from(result));
+  os_->flush();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xF];
+          out += hex[ch & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
+  std::ostream& os = *os_;
+  os << "{\"cell\":" << cell.index                                   //
+     << ",\"protocol\":\"" << json_escape(result.protocol) << "\""   //
+     << ",\"k\":" << result.k                                        //
+     << ",\"arrival\":\"" << json_escape(cell.arrival.label()) << "\""
+     << ",\"engine\":\"" << engine_mode_name(cell.engine) << "\""
+     << ",\"runs\":" << result.runs                                  //
+     << ",\"incomplete_runs\":" << result.incomplete_runs            //
+     << ",\"mean_makespan\":" << format_double(result.makespan.mean, 6)
+     << ",\"stddev_makespan\":" << format_double(result.makespan.stddev, 6)
+     << ",\"min_makespan\":" << format_double(result.makespan.min, 6)
+     << ",\"max_makespan\":" << format_double(result.makespan.max, 6)
+     << ",\"mean_ratio\":" << format_double(result.ratio.mean, 6)    //
+     << "}\n";
+  os.flush();
+}
+
+void MemorySink::emit(const CellInfo& cell, const AggregateResult& result) {
+  cells_.push_back(cell);
+  results_.push_back(result);
+}
+
+}  // namespace ucr::exp

@@ -1,0 +1,146 @@
+#include "exp/spec.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace ucr::exp {
+
+ArrivalSpec ArrivalSpec::batch() { return ArrivalSpec{}; }
+
+ArrivalSpec ArrivalSpec::poisson(double lambda) {
+  ArrivalSpec spec;
+  spec.kind = Kind::kPoisson;
+  spec.lambda = lambda;
+  return spec;
+}
+
+ArrivalSpec ArrivalSpec::burst(std::uint64_t bursts, std::uint64_t gap) {
+  ArrivalSpec spec;
+  spec.kind = Kind::kBurst;
+  spec.bursts = bursts;
+  spec.gap = gap;
+  return spec;
+}
+
+std::string ArrivalSpec::label() const {
+  switch (kind) {
+    case Kind::kBatch:
+      return "batch";
+    case Kind::kPoisson:
+      return "poisson(" + format_double(lambda, 6) + ")";
+    case Kind::kBurst:
+      return "burst(" + std::to_string(bursts) + "," + std::to_string(gap) +
+             ")";
+  }
+  UCR_CHECK(false, "unreachable arrival kind");
+  return {};
+}
+
+ArrivalPattern ArrivalSpec::materialize(std::uint64_t k, std::uint64_t seed,
+                                        std::uint64_t stream_id) const {
+  validate();
+  switch (kind) {
+    case Kind::kBatch:
+      return batched_arrivals(k);
+    case Kind::kPoisson: {
+      Xoshiro256 rng = Xoshiro256::stream(seed, stream_id);
+      return poisson_arrivals(k, lambda, rng);
+    }
+    case Kind::kBurst: {
+      // Distribute k over the bursts; the first k % bursts bursts carry
+      // the remainder so exactly k messages arrive for any k.
+      const std::uint64_t base = k / bursts;
+      const std::uint64_t extra = k % bursts;
+      if (extra == 0) {
+        return burst_arrivals(bursts, base, gap);
+      }
+      ArrivalPattern pattern;
+      pattern.reserve(k);
+      std::uint64_t slot = 0;
+      for (std::uint64_t b = 0; b < bursts; ++b) {
+        const std::uint64_t size = base + (b < extra ? 1 : 0);
+        for (std::uint64_t i = 0; i < size; ++i) pattern.push_back(slot);
+        slot += gap;
+      }
+      return pattern;
+    }
+  }
+  UCR_CHECK(false, "unreachable arrival kind");
+  return {};
+}
+
+void ArrivalSpec::validate() const {
+  if (kind == Kind::kPoisson) {
+    UCR_REQUIRE(lambda > 0.0, "poisson arrival rate must be positive");
+  }
+  if (kind == Kind::kBurst) {
+    UCR_REQUIRE(bursts > 0, "burst arrival spec needs at least one burst");
+  }
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  UCR_REQUIRE(slash != std::string::npos,
+              "malformed shard '" + text + "' (expected i/N, e.g. 0/4)");
+  const std::string source = "shard '" + text + "' (expected i/N)";
+  ShardSpec shard;
+  shard.index = parse_u64_strict(text.substr(0, slash), source);
+  shard.count = parse_u64_strict(text.substr(slash + 1), source);
+  shard.validate();
+  return shard;
+}
+
+std::string ShardSpec::label() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+void ShardSpec::validate() const {
+  UCR_REQUIRE(count >= 1, "shard count must be >= 1");
+  UCR_REQUIRE(index < count, "shard index " + std::to_string(index) +
+                                 " out of range for " +
+                                 std::to_string(count) + " shards");
+}
+
+const char* engine_mode_name(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kFair:
+      return "fair";
+    case EngineMode::kBatched:
+      return "batched";
+    case EngineMode::kNode:
+      return "node";
+  }
+  UCR_CHECK(false, "unreachable engine mode");
+  return "";
+}
+
+ExperimentSpec& ExperimentSpec::with_protocol(std::string name) {
+  protocol_names.push_back(std::move(name));
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_factory(ProtocolFactory factory) {
+  protocols.push_back(std::move(factory));
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_ks(std::vector<std::uint64_t> grid) {
+  ks = std::move(grid);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_paper_ks(std::uint64_t max) {
+  ks.clear();
+  k_max = max;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_arrival(ArrivalSpec arrival) {
+  arrivals.push_back(arrival);
+  return *this;
+}
+
+}  // namespace ucr::exp

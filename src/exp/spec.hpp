@@ -1,0 +1,136 @@
+// Declarative experiment descriptions — the input end of the exp pipeline
+//
+//   ExperimentSpec --compile()--> ExperimentPlan --run()--> ResultSink(s)
+//
+// An ExperimentSpec is a value type that *describes* a sweep instead of
+// wiring one: which protocols (by registry name and/or explicit factories),
+// which batch sizes, which arrival workloads per cell, how many runs, which
+// engine, and — for cross-machine sweeps — which shard of the flattened
+// grid this invocation owns. Every driver in the tree (ucr_cli, the bench/
+// harnesses, the sweep examples) builds one of these and hands it to
+// compile() + run() instead of assembling SweepPoint grids by hand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/arrival.hpp"
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+
+namespace ucr::exp {
+
+/// Declarative description of one arrival workload. Batch and burst
+/// patterns are deterministic functions of (kind, parameters, k); Poisson
+/// cells re-sample a fresh pattern for every run from a substream derived
+/// from (seed, global cell index, run), so a Poisson cell is a
+/// heterogeneous-workload cell by construction — each run sees its own
+/// draw of the arrival process, and the draw is fixed by the spec alone
+/// (never by scheduling).
+struct ArrivalSpec {
+  enum class Kind { kBatch, kPoisson, kBurst };
+
+  Kind kind = Kind::kBatch;
+  /// Poisson arrival rate in messages per slot.
+  double lambda = 0.1;
+  /// Burst shape: `bursts` batches of k/bursts messages, `gap` silent
+  /// slots apart.
+  std::uint64_t bursts = 4;
+  std::uint64_t gap = 64;
+
+  static ArrivalSpec batch();
+  static ArrivalSpec poisson(double lambda);
+  static ArrivalSpec burst(std::uint64_t bursts, std::uint64_t gap);
+
+  bool is_batch() const { return kind == Kind::kBatch; }
+
+  /// Human/JSONL label: "batch", "poisson(0.1)", "burst(4,64)".
+  std::string label() const;
+
+  /// Materializes the concrete pattern for one run of a cell. `stream_id`
+  /// is the arrival-substream index assigned by compile() (distinct per
+  /// (cell, run), disjoint from the engine substreams); deterministic
+  /// kinds ignore it.
+  ArrivalPattern materialize(std::uint64_t k, std::uint64_t seed,
+                             std::uint64_t stream_id) const;
+
+  /// Throws ContractViolation on out-of-range parameters (lambda <= 0,
+  /// bursts == 0).
+  void validate() const;
+
+  bool operator==(const ArrivalSpec&) const = default;
+};
+
+/// Deterministic partition of the flattened grid for cross-machine sweeps:
+/// shard i of N owns the contiguous cell block [i*total/N, (i+1)*total/N),
+/// so concatenating the sink output of shards 0..N-1 in order reproduces
+/// the unsharded output byte for byte (sinks emit their header, if any, on
+/// shard 0 only).
+struct ShardSpec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+
+  /// Parses "i/N" (e.g. "0/4"); throws ContractViolation on malformed
+  /// text, count == 0 or index >= count.
+  static ShardSpec parse(const std::string& text);
+
+  bool is_whole() const { return count == 1; }
+  std::string label() const;  ///< "i/N"
+
+  /// Throws ContractViolation unless index < count and count >= 1.
+  void validate() const;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Which engine executes the fair (batch-arrival) cells of the grid.
+/// Cells with non-batch arrivals always run on the per-node engine — that
+/// is what "the fair aggregate engine does not apply" means — so kFair
+/// and kBatched only select the engine for batch cells, and kBatched
+/// rejects non-batch cells at compile() time (the batched fast path has no
+/// per-node analogue yet; use kFair to mix workloads in one grid).
+enum class EngineMode { kFair, kBatched, kNode };
+
+const char* engine_mode_name(EngineMode mode);
+
+/// The declarative sweep description. Defaults reproduce the paper's
+/// evaluation shape: 10 runs, seed 2011, batch arrivals, exact fair
+/// engine, unsharded.
+struct ExperimentSpec {
+  /// Protocols resolved by name through the catalogue handed to compile()
+  /// (find_protocol: exact match, then unique case-insensitive match,
+  /// then a did-you-mean error) ...
+  std::vector<std::string> protocol_names;
+  /// ... followed by explicit factories, for parameterized configurations
+  /// a registry name cannot express (e.g. the delta ablations).
+  std::vector<ProtocolFactory> protocols;
+
+  /// Explicit k grid; when empty, paper_k_sweep(k_max) is used (k_max
+  /// must then be >= 10).
+  std::vector<std::uint64_t> ks;
+  std::uint64_t k_max = 0;
+
+  /// Per-cell arrival workloads; empty means {batch}.
+  std::vector<ArrivalSpec> arrivals;
+
+  std::uint64_t runs = 10;
+  std::uint64_t seed = 2011;
+  EngineMode engine = EngineMode::kFair;
+  /// Cap / recording / observer knobs applied to every cell. The batched
+  /// flag is derived from `engine`, not read from here.
+  EngineOptions engine_options;
+
+  ShardSpec shard;
+
+  /// The flattened grid is protocol-major: for each protocol, for each k,
+  /// for each arrival spec — one cell. Helpers below mutate-and-return so
+  /// specs can be built fluently.
+  ExperimentSpec& with_protocol(std::string name);
+  ExperimentSpec& with_factory(ProtocolFactory factory);
+  ExperimentSpec& with_ks(std::vector<std::uint64_t> grid);
+  ExperimentSpec& with_paper_ks(std::uint64_t max);
+  ExperimentSpec& with_arrival(ArrivalSpec arrival);
+};
+
+}  // namespace ucr::exp

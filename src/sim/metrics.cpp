@@ -20,6 +20,10 @@ void RunMetrics::validate() const {
     UCR_CHECK(deliveries < k,
               "incomplete run cannot have delivered k messages");
   }
+  if (!latencies.empty()) {
+    UCR_CHECK(latencies.size() == deliveries,
+              "recorded latency count mismatch");
+  }
   if (!delivery_slots.empty()) {
     UCR_CHECK(delivery_slots.size() == deliveries,
               "recorded delivery count mismatch");

@@ -34,6 +34,13 @@ struct RunMetrics {
   /// EngineOptions::record_deliveries is set).
   std::vector<std::uint64_t> delivery_slots;
 
+  /// Per-message latency (delivery slot - arrival slot + 1) in delivery
+  /// order; filled by the per-node engine when
+  /// EngineOptions::record_latencies is set. The fair engines leave it
+  /// empty: under batched arrivals latency is the delivery slot + 1, so
+  /// `delivery_slots` already carries it.
+  std::vector<std::uint64_t> latencies;
+
   /// Makespan normalized by k — the paper's Table 1 quantity.
   double ratio() const;
 
@@ -50,6 +57,8 @@ struct EngineOptions {
   std::uint64_t max_slots = 0;
   /// Record the slot index of every delivery (costs O(k) memory).
   bool record_deliveries = false;
+  /// Record per-message latencies (per-node engine only; O(k) memory).
+  bool record_latencies = false;
   /// Use the batched fair-engine fast path (sim/fair_engine.hpp):
   /// O(successes + probability changes) instead of O(slots) for
   /// slot-probability protocols, O(active stations) instead of O(window

@@ -76,9 +76,13 @@ RunMetrics run_node_engine(const NodeFactory& factory,
       if (options.record_deliveries) {
         metrics.delivery_slots.push_back(now);
       }
-      if (latency != nullptr) {
-        latency->latencies.push_back(
-            now - active[delivered_index].arrival_slot + 1);
+      if (latency != nullptr || options.record_latencies) {
+        const std::uint64_t message_latency =
+            now - active[delivered_index].arrival_slot + 1;
+        if (latency != nullptr) latency->latencies.push_back(message_latency);
+        if (options.record_latencies) {
+          metrics.latencies.push_back(message_latency);
+        }
       }
       // Swap-remove; station order is irrelevant to the model.
       std::swap(active[delivered_index], active.back());

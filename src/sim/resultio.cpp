@@ -49,19 +49,28 @@ AggregateRow AggregateRow::from(const AggregateResult& result) {
   return row;
 }
 
-void write_aggregate_csv(std::ostream& os,
-                         const std::vector<AggregateRow>& rows) {
+void write_aggregate_header(std::ostream& os) {
   CsvWriter writer(os);
   writer.write_row(
       std::vector<std::string>(kHeader, kHeader + kColumns));
+}
+
+void write_aggregate_row(std::ostream& os, const AggregateRow& r) {
+  CsvWriter writer(os);
+  writer.write_row({r.protocol, std::to_string(r.k), std::to_string(r.runs),
+                    std::to_string(r.incomplete_runs),
+                    format_double(r.mean_makespan, 6),
+                    format_double(r.stddev_makespan, 6),
+                    format_double(r.min_makespan, 6),
+                    format_double(r.max_makespan, 6),
+                    format_double(r.mean_ratio, 6)});
+}
+
+void write_aggregate_csv(std::ostream& os,
+                         const std::vector<AggregateRow>& rows) {
+  write_aggregate_header(os);
   for (const AggregateRow& r : rows) {
-    writer.write_row({r.protocol, std::to_string(r.k), std::to_string(r.runs),
-                      std::to_string(r.incomplete_runs),
-                      format_double(r.mean_makespan, 6),
-                      format_double(r.stddev_makespan, 6),
-                      format_double(r.min_makespan, 6),
-                      format_double(r.max_makespan, 6),
-                      format_double(r.mean_ratio, 6)});
+    write_aggregate_row(os, r);
   }
 }
 

@@ -33,6 +33,13 @@ struct AggregateRow {
 void write_aggregate_csv(std::ostream& os,
                          const std::vector<AggregateRow>& rows);
 
+/// Incremental writers behind write_aggregate_csv, for streaming emission
+/// (exp/sink.hpp): header exactly as write_aggregate_csv emits it, one row
+/// at a time. write_aggregate_csv(os, rows) == write_aggregate_header(os)
+/// followed by write_aggregate_row for each row, byte for byte.
+void write_aggregate_header(std::ostream& os);
+void write_aggregate_row(std::ostream& os, const AggregateRow& row);
+
 /// Reads rows written by write_aggregate_csv. Throws ContractViolation on
 /// malformed input (wrong header, wrong column count, non-numeric cells).
 std::vector<AggregateRow> read_aggregate_csv(std::istream& is);

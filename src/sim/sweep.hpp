@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/runner.hpp"
@@ -31,6 +32,13 @@ struct SweepPoint {
   std::uint64_t k = 0;
   /// Non-empty => run through the per-node engine on this pattern.
   ArrivalPattern arrivals;
+  /// Heterogeneous-workload cell: when set, run r executes on the per-node
+  /// engine with the pattern arrivals_per_run(r). The generator must be a
+  /// pure function of r (it may be called from any worker thread), which
+  /// keeps the determinism contract: the workload of (cell, run) is fixed
+  /// before scheduling happens. Takes precedence over `arrivals`; `k`
+  /// should be set to the per-run message count for work sizing.
+  std::function<ArrivalPattern(std::uint64_t run)> arrivals_per_run;
   std::uint64_t runs = 10;
   std::uint64_t seed = 2011;
   EngineOptions options;
@@ -44,6 +52,15 @@ struct SweepPoint {
   static SweepPoint node(ProtocolFactory factory, ArrivalPattern arrivals,
                          std::uint64_t runs, std::uint64_t seed,
                          const EngineOptions& options = {});
+
+  /// Per-node-engine cell whose workload is re-sampled per run (dynamic
+  /// arrival studies: every run sees its own Poisson draw). `k` is the
+  /// per-run message count (generator(r).size() for every r).
+  static SweepPoint node_per_run(
+      ProtocolFactory factory, std::uint64_t k,
+      std::function<ArrivalPattern(std::uint64_t run)> generator,
+      std::uint64_t runs, std::uint64_t seed,
+      const EngineOptions& options = {});
 };
 
 struct SweepOptions {
@@ -54,7 +71,11 @@ struct SweepOptions {
   /// first instead of anchoring the tail of the sweep. Pure scheduling —
   /// results are written to pre-assigned slots and returned in grid
   /// order, so every output bit is identical with or without it, for any
-  /// thread count.
+  /// thread count. Applies to run() only: run_streaming() always
+  /// dispatches in grid order, because emission follows the completed
+  /// grid prefix and out-of-grid-order dispatch would buffer nearly the
+  /// whole grid before the first emit (defeating streaming's
+  /// bounded-memory point).
   bool largest_first = true;
 };
 
@@ -72,10 +93,32 @@ class SweepRunner {
   /// the caller after the remaining items finish.
   std::vector<AggregateResult> run(const std::vector<SweepPoint>& grid) const;
 
+  /// Called once per completed cell, always in grid order.
+  using CellCallback =
+      std::function<void(std::size_t cell, AggregateResult&& result)>;
+
+  /// Streaming variant of run(): invokes `emit(i, result)` for cell i as
+  /// soon as cells 0..i are all complete — i.e. cells are handed out in
+  /// grid order, but as a growing prefix while the sweep is still running,
+  /// so a consumer can write results out incrementally and the per-run
+  /// metrics of emitted cells are released instead of accumulating for the
+  /// whole grid. Dispatch is always in grid order (largest_first is
+  /// ignored; see SweepOptions), which bounds the out-of-order buffer to
+  /// roughly the cells concurrently in flight. Thread count cannot
+  /// reorder or alter emissions (same determinism contract as run()).
+  /// `emit` runs on worker threads under an internal mutex; if it throws,
+  /// the remaining cells are dropped and the exception propagates to the
+  /// caller.
+  void run_streaming(const std::vector<SweepPoint>& grid,
+                     const CellCallback& emit) const;
+
   /// Effective worker count for this runner's options.
   unsigned threads() const;
 
  private:
+  void run_impl(const std::vector<SweepPoint>& grid, const CellCallback& emit,
+                bool largest_first) const;
+
   SweepOptions options_;
 };
 

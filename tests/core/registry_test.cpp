@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+
+#include "common/check.hpp"
 
 namespace ucr {
 namespace {
@@ -54,6 +57,54 @@ TEST(Registry, ExtrasIncludeGenieAndExponential) {
 TEST(Registry, AllIsPaperPlusExtras) {
   EXPECT_EQ(all_protocols().size(),
             paper_protocols().size() + extra_protocols().size());
+}
+
+TEST(FindProtocol, ExactMatchWins) {
+  const auto catalogue = all_protocols();
+  EXPECT_EQ(find_protocol(catalogue, "One-Fail Adaptive").name,
+            "One-Fail Adaptive");
+  EXPECT_EQ(try_find_protocol(catalogue, "One-Fail Adaptive")->name,
+            "One-Fail Adaptive");
+}
+
+TEST(FindProtocol, CaseInsensitiveFallback) {
+  const auto catalogue = all_protocols();
+  EXPECT_EQ(find_protocol(catalogue, "one-fail adaptive").name,
+            "One-Fail Adaptive");
+  EXPECT_EQ(find_protocol(catalogue, "LOG-FAILS ADAPTIVE (2)").name,
+            "Log-Fails Adaptive (2)");
+}
+
+TEST(FindProtocol, AmbiguousCaseFoldRefusesToGuess) {
+  std::vector<ProtocolFactory> catalogue = all_protocols();
+  // Two entries that collide after case folding but not exactly.
+  ProtocolFactory clone = catalogue[2];
+  clone.name = "ONE-FAIL ADAPTIVE";
+  catalogue.push_back(clone);
+  EXPECT_EQ(try_find_protocol(catalogue, "one-fail adaptive"), nullptr);
+  // The exact spellings still resolve.
+  EXPECT_EQ(find_protocol(catalogue, "ONE-FAIL ADAPTIVE").name,
+            "ONE-FAIL ADAPTIVE");
+  EXPECT_EQ(find_protocol(catalogue, "One-Fail Adaptive").name,
+            "One-Fail Adaptive");
+}
+
+TEST(FindProtocol, TypoGetsDidYouMeanSuggestion) {
+  const auto catalogue = all_protocols();
+  EXPECT_EQ(try_find_protocol(catalogue, "One-Fail Adaptve"), nullptr);
+  try {
+    find_protocol(catalogue, "LogLog-Iterated Backoff");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("LogLog-Iterated Back-off"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(FindProtocol, EmptyCatalogueThrowsCleanly) {
+  EXPECT_THROW(find_protocol({}, "anything"), ContractViolation);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <limits>
 #include <string>
 
+#include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
 #include "protocols/exp_backoff.hpp"
 #include "sim/runner.hpp"
@@ -110,16 +111,22 @@ TEST(BatchedEquivalence, HintOneProtocolsAreBitIdentical) {
   // One-Fail Adaptive's hint is 1 (its estimator moves every slot): the
   // batched dispatch must reproduce the exact engine draw for draw, so
   // switching EngineOptions::batched cannot change a single metric.
-  const auto factory = factory_by_name("One-Fail Adaptive");
-  for (std::uint64_t run = 0; run < 5; ++run) {
-    const RunMetrics exact = run_single_fair(factory, 500, run, 77, {});
-    const RunMetrics batched =
-        run_single_fair(factory, 500, run, 77, batched_options());
-    EXPECT_EQ(exact.slots, batched.slots);
-    EXPECT_EQ(exact.silence_slots, batched.silence_slots);
-    EXPECT_EQ(exact.collision_slots, batched.collision_slots);
-    EXPECT_DOUBLE_EQ(exact.expected_transmissions,
-                     batched.expected_transmissions);
+  // Dynamic One-Fail is hint-1 for the same reason (kappa~ moves every
+  // slot: +1 / doubling / sawtooth reset), so it shares the guarantee.
+  for (const auto& factory :
+       {factory_by_name("One-Fail Adaptive"),
+        make_dynamic_one_fail_factory()}) {
+    SCOPED_TRACE(factory.name);
+    for (std::uint64_t run = 0; run < 5; ++run) {
+      const RunMetrics exact = run_single_fair(factory, 500, run, 77, {});
+      const RunMetrics batched =
+          run_single_fair(factory, 500, run, 77, batched_options());
+      EXPECT_EQ(exact.slots, batched.slots);
+      EXPECT_EQ(exact.silence_slots, batched.silence_slots);
+      EXPECT_EQ(exact.collision_slots, batched.collision_slots);
+      EXPECT_DOUBLE_EQ(exact.expected_transmissions,
+                       batched.expected_transmissions);
+    }
   }
 }
 

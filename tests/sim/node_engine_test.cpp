@@ -159,6 +159,31 @@ TEST(NodeEngine, LatencyMeasuredFromArrival) {
   EXPECT_EQ(latency.latencies[1], 1u);
 }
 
+TEST(NodeEngine, RecordLatenciesFillsRunMetrics) {
+  // EngineOptions::record_latencies carries the same per-message values
+  // as the LatencyMetrics out-parameter, but inside RunMetrics — the form
+  // that survives aggregation and the parallel sweep pipeline.
+  Xoshiro256 rng_a(9);
+  Xoshiro256 rng_b(9);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<AlwaysTransmit>();
+  };
+  ArrivalPattern arrivals{0, 50};
+  LatencyMetrics latency;
+  const RunMetrics plain =
+      run_node_engine(factory, arrivals, rng_a, EngineOptions{}, &latency);
+  EXPECT_TRUE(plain.latencies.empty());  // off by default
+
+  EngineOptions options;
+  options.record_latencies = true;
+  const RunMetrics recorded =
+      run_node_engine(factory, arrivals, rng_b, options);
+  ASSERT_EQ(recorded.latencies.size(), latency.latencies.size());
+  for (std::size_t i = 0; i < latency.latencies.size(); ++i) {
+    EXPECT_EQ(recorded.latencies[i], latency.latencies[i]);
+  }
+}
+
 TEST(NodeEngine, ListenersHearDeliveries) {
   Xoshiro256 rng(10);
   std::vector<Feedback> heard;

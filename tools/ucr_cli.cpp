@@ -1,13 +1,16 @@
-// ucr_cli — one command-line driver for the whole library: pick a protocol,
-// a workload, an engine and a scale; get per-run metrics, an aggregate
-// summary, or machine-readable CSV.
+// ucr_cli — one command-line driver for the whole library. Every flag maps
+// onto a declarative ExperimentSpec (src/exp/spec.hpp); the CLI itself is
+// just spec construction + the compile/run/sink pipeline, so a sweep typed
+// here, a bench harness and a sharded cross-machine run all execute the
+// exact same code path.
 //
 // Examples:
 //   ucr_cli --list
 //   ucr_cli --protocol="One-Fail Adaptive" --k=100000 --runs=10
-//   ucr_cli --protocol="Exp Back-on/Back-off" --k=1000 --engine=node
+//   ucr_cli --protocols=paper --kmax=100000 --format=csv
+//   ucr_cli --protocols=paper --kmax=1000000 --shard=0/4 --format=csv
 //   ucr_cli --protocol="LogLog-Iterated Back-off" --k=500
-//           --arrivals=poisson --lambda=0.1 --runs=5
+//           --arrivals=poisson --lambda=0.1 --runs=5 --format=jsonl
 //   ucr_cli --protocol="One-Fail Adaptive" --k=1000 --csv=1
 #include <iostream>
 #include <utility>
@@ -17,8 +20,9 @@
 #include "common/table.hpp"
 #include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
-#include "sim/resultio.hpp"
-#include "sim/sweep.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/sink.hpp"
 
 namespace {
 
@@ -36,117 +40,231 @@ int list_protocols() {
   return 0;
 }
 
-int usage(const char* error) {
-  if (error != nullptr) std::cerr << "error: " << error << "\n\n";
+int usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
       << "usage: ucr_cli --protocol=<name> [options]\n"
+         "       ucr_cli --protocols=<a,b|paper|all> [options]\n"
          "       ucr_cli --list\n\n"
-         "options:\n"
-         "  --k=N             batch size / number of messages (default 1000)\n"
-         "  --runs=N          independent runs (default 10)\n"
+         "spec axes (each flag sets one field of the ExperimentSpec):\n"
+         "  --protocol=NAME   one protocol (case-insensitive; typos get a\n"
+         "                    did-you-mean hint — try --list)\n"
+         "  --protocols=LIST  comma-separated names, or 'paper' (the five\n"
+         "                    evaluated protocols) or 'all'\n"
+         "  --k=N             single batch size (default 1000)\n"
+         "  --ks=LIST         comma-separated k grid (e.g. 10,100,1000)\n"
+         "  --kmax=N          the paper's sweep: powers of ten up to N\n"
+         "  --runs=N          independent runs per cell (default 10)\n"
          "  --seed=N          base seed (default 2011)\n"
          "  --engine=fair|batched|node   aggregate engine (default), its\n"
-         "                    batched fast path (paper-scale k; same law of\n"
-         "                    outcomes, different RNG path), or the\n"
+         "                    batched fast path (paper-scale k; same law\n"
+         "                    of outcomes, different RNG path), or the\n"
          "                    per-station engine\n"
-         "  --arrivals=batch|poisson|burst   workload (default batch;\n"
-         "                    non-batch workloads force --engine=node)\n"
-         "  --lambda=X        Poisson arrival rate in msg/slot (default 0.1)\n"
-         "  --bursts=N --gap=N  burst workload shape (default 4 bursts)\n"
+         "  --arrivals=LIST   per-cell workloads, comma-separated from\n"
+         "                    batch|poisson|burst (default batch;\n"
+         "                    non-batch cells run per-station)\n"
+         "  --lambda=X        Poisson arrival rate in msg/slot (default\n"
+         "                    0.1; fresh pattern per run)\n"
+         "  --bursts=N --gap=N  burst workload shape (default 4 bursts,\n"
+         "                    gap 64)\n"
          "  --max-slots=N     slot cap (default: engine default)\n"
+         "  --shard=i/N       run shard i of N (contiguous cell block of\n"
+         "                    the flattened grid; concatenating the CSV or\n"
+         "                    JSONL output of shards 0..N-1 is\n"
+         "                    byte-identical to the unsharded sweep)\n"
+         "execution / output:\n"
          "  --threads=N       sweep worker threads, N >= 1 (default: all\n"
          "                    cores; results are identical for every N)\n"
-         "  --csv=1           emit the aggregate row as CSV\n";
+         "  --format=table|csv|jsonl   output format (default table)\n"
+         "  --csv=1           alias for --format=csv\n";
   return 2;
+}
+
+/// Splits a comma-separated list, rejecting empty items.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    UCR_REQUIRE(end > start, "empty item in list '" + text + "'");
+    items.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+int run_spec(const ucr::CliArgs& args) {
+  const auto protocols = catalogue();
+
+  ucr::exp::ExperimentSpec spec;
+
+  // Protocol axis.
+  if (const auto one = args.get("protocol")) {
+    spec.with_protocol(*one);
+  }
+  if (const auto many = args.get("protocols")) {
+    if (*many == "paper") {
+      for (const auto& p : ucr::paper_protocols()) {
+        spec.with_protocol(p.name);
+      }
+    } else if (*many == "all") {
+      for (const auto& p : protocols) spec.with_protocol(p.name);
+    } else {
+      for (const auto& name : split_list(*many)) spec.with_protocol(name);
+    }
+  }
+  if (spec.protocol_names.empty()) {
+    return usage("--protocol or --protocols is required (try --list)");
+  }
+
+  // k axis: --ks wins over --kmax wins over --k.
+  if (const auto ks = args.get("ks")) {
+    for (const auto& item : split_list(*ks)) {
+      spec.ks.push_back(ucr::parse_u64_strict(item, "--ks item"));
+    }
+  } else if (args.get("kmax")) {
+    spec.with_paper_ks(args.get_u64("kmax", 0));
+  } else {
+    spec.ks.push_back(args.get_u64("k", 1000));
+  }
+
+  spec.runs = args.get_u64("runs", 10);
+  spec.seed = args.get_u64("seed", 2011);
+
+  const std::string engine = args.get("engine").value_or("fair");
+  if (engine == "fair") {
+    spec.engine = ucr::exp::EngineMode::kFair;
+  } else if (engine == "batched") {
+    spec.engine = ucr::exp::EngineMode::kBatched;
+  } else if (engine == "node") {
+    spec.engine = ucr::exp::EngineMode::kNode;
+  } else {
+    return usage("unknown --engine (fair, batched or node)");
+  }
+
+  // Arrival axis.
+  const double lambda = args.get_double("lambda", 0.1);
+  const std::uint64_t bursts = args.get_u64("bursts", 4);
+  const std::uint64_t gap = args.get_u64("gap", 64);
+  for (const auto& kind : split_list(args.get("arrivals").value_or("batch"))) {
+    if (kind == "batch") {
+      spec.with_arrival(ucr::exp::ArrivalSpec::batch());
+    } else if (kind == "poisson") {
+      spec.with_arrival(ucr::exp::ArrivalSpec::poisson(lambda));
+    } else if (kind == "burst") {
+      spec.with_arrival(ucr::exp::ArrivalSpec::burst(bursts, gap));
+    } else {
+      return usage("unknown --arrivals kind '" + kind +
+                   "' (batch, poisson or burst)");
+    }
+  }
+
+  spec.engine_options.max_slots = args.get_u64("max-slots", 0);
+  if (const auto shard = args.get("shard")) {
+    spec.shard = ucr::exp::ShardSpec::parse(*shard);
+  }
+
+  std::string format = args.get("format").value_or(
+      args.get_bool("csv", false) ? "csv" : "table");
+  if (format != "table" && format != "csv" && format != "jsonl") {
+    return usage("unknown --format (table, csv or jsonl)");
+  }
+
+  const unsigned threads = ucr::thread_count_option(args, "UCR_THREADS");
+  const auto plan = ucr::exp::compile(spec, protocols);
+
+  // Streaming formats go straight to the sink — constant memory, rows
+  // appear as the grid prefix completes.
+  if (format != "table") {
+    ucr::exp::CsvStreamSink csv(std::cout);
+    ucr::exp::JsonlSink jsonl(std::cout);
+    ucr::exp::ResultSink* sink =
+        format == "csv" ? static_cast<ucr::exp::ResultSink*>(&csv) : &jsonl;
+    std::uint64_t incomplete = 0;
+    class CountingSink final : public ucr::exp::ResultSink {
+     public:
+      explicit CountingSink(std::uint64_t& total) : total_(&total) {}
+      void emit(const ucr::exp::CellInfo&,
+                const ucr::AggregateResult& result) override {
+        *total_ += result.incomplete_runs;
+      }
+
+     private:
+      std::uint64_t* total_;
+    } counting(incomplete);
+    ucr::exp::run(plan, {sink, &counting}, {threads});
+    return incomplete == 0 ? 0 : 1;
+  }
+
+  ucr::exp::MemorySink memory;
+  ucr::exp::run(plan, {&memory}, {threads});
+  const auto& results = memory.results();
+  const auto& cells = memory.cells();
+
+  std::uint64_t incomplete = 0;
+  for (const auto& result : results) incomplete += result.incomplete_runs;
+
+  if (results.size() == 1) {
+    // Single cell: the familiar one-experiment report.
+    const auto& result = results.front();
+    const auto& cell = cells.front();
+    std::cout << result.protocol << " on k = " << result.k << " ("
+              << spec.runs << " runs, seed " << spec.seed << ", "
+              << ucr::exp::engine_mode_name(cell.engine) << " engine, "
+              << cell.arrival.label() << " arrivals";
+    if (!plan.shard.is_whole()) std::cout << ", shard " << plan.shard.label();
+    std::cout << ")\n\n";
+    ucr::Table table({"metric", "value"});
+    table.add_row(
+        {"mean makespan", ucr::format_double(result.makespan.mean, 1)});
+    table.add_row({"95% CI halfwidth",
+                   ucr::format_double(result.makespan.ci95_halfwidth, 1)});
+    table.add_row({"min / max",
+                   ucr::format_double(result.makespan.min, 0) + " / " +
+                       ucr::format_double(result.makespan.max, 0)});
+    table.add_row(
+        {"mean ratio steps/k", ucr::format_double(result.ratio.mean, 3)});
+    table.add_row({"incomplete runs", std::to_string(result.incomplete_runs)});
+    table.print(std::cout);
+    return incomplete == 0 ? 0 : 1;
+  }
+
+  // Grid: one row per cell, in grid order.
+  std::cout << "Sweep of " << plan.total_cells << " cells";
+  if (!plan.shard.is_whole()) {
+    std::cout << " (this shard " << plan.shard.label() << ": "
+              << results.size() << " cells)";
+  }
+  std::cout << ", " << spec.runs << " runs per cell, seed " << spec.seed
+            << "\n\n";
+  ucr::Table table({"protocol", "k", "arrivals", "engine", "mean makespan",
+                    "ci95", "ratio", "incomplete"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row({result.protocol, std::to_string(result.k),
+                   cells[i].arrival.label(),
+                   ucr::exp::engine_mode_name(cells[i].engine),
+                   ucr::format_double(result.makespan.mean, 1),
+                   ucr::format_double(result.makespan.ci95_halfwidth, 1),
+                   ucr::format_double(result.ratio.mean, 3),
+                   std::to_string(result.incomplete_runs)});
+  }
+  table.print(std::cout);
+  return incomplete == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int run_cli(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
-                          {"protocol", "k", "runs", "seed", "engine",
-                           "arrivals", "lambda", "bursts", "gap",
-                           "max-slots", "threads", "csv", "list"});
+                          {"protocol", "protocols", "k", "ks", "kmax",
+                           "runs", "seed", "engine", "arrivals", "lambda",
+                           "bursts", "gap", "max-slots", "shard", "threads",
+                           "csv", "format", "list"});
   if (args.get_bool("list", false)) return list_protocols();
-
-  const auto name = args.get("protocol");
-  if (!name) return usage("--protocol is required (try --list)");
-
-  const ucr::ProtocolFactory* factory = nullptr;
-  const auto protocols = catalogue();
-  for (const auto& p : protocols) {
-    if (p.name == *name) factory = &p;
-  }
-  if (factory == nullptr) return usage("unknown protocol (try --list)");
-
-  const std::uint64_t k = args.get_u64("k", 1000);
-  const std::uint64_t runs = args.get_u64("runs", 10);
-  const std::uint64_t seed = args.get_u64("seed", 2011);
-  const std::string engine = args.get("engine").value_or("fair");
-  if (engine != "fair" && engine != "batched" && engine != "node") {
-    return usage("unknown --engine (fair, batched or node)");
-  }
-  const std::string arrivals_kind = args.get("arrivals").value_or("batch");
-  if (engine == "batched" && arrivals_kind != "batch") {
-    return usage(
-        "--engine=batched requires batched arrivals (non-batch workloads "
-        "run per-station: use --engine=node)");
-  }
-  const unsigned threads = ucr::thread_count_option(args, "UCR_THREADS");
-
-  ucr::EngineOptions options;
-  options.max_slots = args.get_u64("max-slots", 0);
-  options.batched = engine == "batched";
-
-  // Every path is one sweep cell; SweepRunner spreads its `runs` across the
-  // worker threads with bit-identical output for any --threads value.
-  ucr::SweepPoint point;
-  if (arrivals_kind == "batch" && engine != "node") {
-    if (!factory->has_fair()) return usage("protocol has no fair view");
-    point = ucr::SweepPoint::fair(*factory, k, runs, seed, options);
-  } else {
-    if (!factory->node) return usage("protocol has no per-node view");
-    ucr::ArrivalPattern arrivals;
-    if (arrivals_kind == "batch") {
-      arrivals = ucr::batched_arrivals(k);
-    } else if (arrivals_kind == "poisson") {
-      ucr::Xoshiro256 arrival_rng = ucr::Xoshiro256::stream(seed, 999);
-      arrivals =
-          ucr::poisson_arrivals(k, args.get_double("lambda", 0.1), arrival_rng);
-    } else if (arrivals_kind == "burst") {
-      const std::uint64_t bursts = args.get_u64("bursts", 4);
-      arrivals = ucr::burst_arrivals(bursts, k / bursts,
-                                     args.get_u64("gap", 64));
-    } else {
-      return usage("unknown --arrivals kind");
-    }
-    point = ucr::SweepPoint::node(*factory, std::move(arrivals), runs, seed,
-                                  options);
-  }
-  const ucr::AggregateResult result =
-      ucr::SweepRunner(ucr::SweepOptions{threads}).run({point})[0];
-
-  if (args.get_bool("csv", false)) {
-    ucr::write_aggregate_csv(std::cout,
-                             {ucr::AggregateRow::from(result)});
-    return result.incomplete_runs == 0 ? 0 : 1;
-  }
-
-  std::cout << result.protocol << " on k = " << result.k << " (" << runs
-            << " runs, seed " << seed << ", " << engine << " engine, "
-            << arrivals_kind << " arrivals)\n\n";
-  ucr::Table table({"metric", "value"});
-  table.add_row({"mean makespan", ucr::format_double(result.makespan.mean, 1)});
-  table.add_row({"95% CI halfwidth",
-                 ucr::format_double(result.makespan.ci95_halfwidth, 1)});
-  table.add_row({"min / max",
-                 ucr::format_double(result.makespan.min, 0) + " / " +
-                     ucr::format_double(result.makespan.max, 0)});
-  table.add_row({"mean ratio steps/k",
-                 ucr::format_double(result.ratio.mean, 3)});
-  table.add_row({"incomplete runs", std::to_string(result.incomplete_runs)});
-  table.print(std::cout);
-  return result.incomplete_runs == 0 ? 0 : 1;
+  return run_spec(args);
 }
 
 int main(int argc, char** argv) {
