@@ -57,8 +57,12 @@ int main(int argc, char** argv) {
 
   const std::vector<double> lambdas{0.02, 0.1, 0.5};
 
+  // Staggered arrivals run per-station; --batched selects the batched
+  // node engine (bulk-skipped silent stretches — the paper-scale knob for
+  // low-lambda sweeps, where most slots are empty).
   auto spec = cfg.spec().with_ks({k});
-  spec.engine = ucr::exp::EngineMode::kNode;  // staggered arrivals
+  spec.engine = cfg.batched ? ucr::exp::EngineMode::kNodeBatched
+                            : ucr::exp::EngineMode::kNode;
   // Finite cap: a protocol may livelock under sustained arrivals (One-
   // Fail Adaptive does at high lambda — see EXPERIMENTS.md); such runs
   // are reported through the `incomplete` column, not waited out.

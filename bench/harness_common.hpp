@@ -9,8 +9,11 @@
 //   --threads=N  / UCR_THREADS  sweep worker threads     (default: all
 //                               hardware threads; N >= 1, junk and 0 are
 //                               rejected)
-//   --batched=1  / UCR_BATCHED  run fair cells through the batched engine
-//                               fast path (sim/fair_engine.hpp) — same law
+//   --batched=1  / UCR_BATCHED  run every cell through the batched engine
+//                               fast paths — fair cells via
+//                               sim/fair_engine.hpp, non-batch (dynamic
+//                               arrival) cells via the batched per-node
+//                               engine (sim/node_engine.hpp) — same law
 //                               of outcomes as the exact engines but a
 //                               different RNG path, so per-run numbers
 //                               differ; means/quantiles agree

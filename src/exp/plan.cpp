@@ -60,21 +60,25 @@ ExperimentPlan compile(const ExperimentSpec& spec,
   if (arrivals.empty()) arrivals.push_back(ArrivalSpec::batch());
   for (const ArrivalSpec& arrival : arrivals) {
     arrival.validate();
-    if (spec.engine == EngineMode::kBatched) {
-      UCR_REQUIRE(arrival.is_batch(),
-                  "EngineMode::kBatched requires batch arrivals (non-batch "
-                  "workloads run per-station: use kFair or kNode)");
-    }
   }
+
+  // Engine resolution: node-mode specs (and every non-batch cell) run
+  // per-station; batched-mode specs take the batched fast path of
+  // whichever engine a cell lands on. One spec-level switch, the whole
+  // grid accelerated.
+  const bool spec_forces_node = spec.engine == EngineMode::kNode ||
+                                spec.engine == EngineMode::kNodeBatched;
+  const bool spec_is_batched = spec.engine == EngineMode::kBatched ||
+                               spec.engine == EngineMode::kNodeBatched;
 
   // Validate engine views against the whole grid up front: a spec that
   // cannot run should fail at compile(), not mid-sweep.
   const bool grid_has_node_cells =
-      spec.engine == EngineMode::kNode ||
+      spec_forces_node ||
       std::any_of(arrivals.begin(), arrivals.end(),
                   [](const ArrivalSpec& a) { return !a.is_batch(); });
   const bool grid_has_fair_cells =
-      spec.engine != EngineMode::kNode &&
+      !spec_forces_node &&
       std::any_of(arrivals.begin(), arrivals.end(),
                   [](const ArrivalSpec& a) { return a.is_batch(); });
   for (const ProtocolFactory& factory : protocols) {
@@ -101,8 +105,8 @@ ExperimentPlan compile(const ExperimentSpec& spec,
     UCR_REQUIRE(total == 1 && spec.runs == 1,
                 "a per-slot observer can only be attached to a "
                 "single-cell, single-run spec (grids run in parallel)");
-    UCR_REQUIRE(spec.engine != EngineMode::kBatched,
-                "the batched engine never materializes skipped slots; "
+    UCR_REQUIRE(!spec_is_batched,
+                "the batched engines never materialize skipped slots; "
                 "per-slot observers require kFair or kNode");
   }
 
@@ -124,9 +128,6 @@ ExperimentPlan compile(const ExperimentSpec& spec,
   plan.points.reserve(end - begin);
   plan.cells.reserve(end - begin);
 
-  EngineOptions options = spec.engine_options;
-  options.batched = spec.engine == EngineMode::kBatched;
-
   const std::uint64_t workload_cells = ks.size() * arrivals.size();
   std::size_t index = 0;
   for (const ProtocolFactory& factory : protocols) {
@@ -140,9 +141,14 @@ ExperimentPlan compile(const ExperimentSpec& spec,
         info.protocol = factory.name;
         info.k = k;
         info.arrival = arrival;
-        const bool node_cell =
-            spec.engine == EngineMode::kNode || !arrival.is_batch();
-        info.engine = node_cell ? EngineMode::kNode : spec.engine;
+        const bool node_cell = spec_forces_node || !arrival.is_batch();
+        info.engine =
+            node_cell ? (spec_is_batched ? EngineMode::kNodeBatched
+                                         : EngineMode::kNode)
+                      : spec.engine;
+
+        EngineOptions options = spec.engine_options;
+        options.batched = info.batched_engine();
 
         SweepPoint point;
         if (!node_cell) {

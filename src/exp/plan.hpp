@@ -23,13 +23,21 @@ struct CellInfo {
   std::string protocol;
   std::uint64_t k = 0;
   ArrivalSpec arrival;
-  /// The engine this cell actually runs on: kNode for non-batch arrivals
-  /// or EngineMode::kNode specs, else the spec's fair/batched mode — the
-  /// distinction matters downstream because batched runs are a different
-  /// sample path than exact-fair runs from the same seed.
+  /// The engine this cell actually runs on. Non-batch arrivals (and kNode
+  /// / kNodeBatched specs) run per-station: exact (kNode) under
+  /// fair-mode specs, batched (kNodeBatched) under batched-mode specs.
+  /// Batch cells keep the spec's fair/batched mode. The distinction
+  /// matters downstream because batched runs are a different sample path
+  /// than exact runs from the same seed wherever a stretch is skipped.
   EngineMode engine = EngineMode::kFair;
 
-  bool node_engine() const { return engine == EngineMode::kNode; }
+  bool node_engine() const {
+    return engine == EngineMode::kNode || engine == EngineMode::kNodeBatched;
+  }
+  bool batched_engine() const {
+    return engine == EngineMode::kBatched ||
+           engine == EngineMode::kNodeBatched;
+  }
 };
 
 /// A compiled, validated, shard-filtered sweep: points[i] is the work of
@@ -50,9 +58,9 @@ struct ExperimentPlan {
 /// unique case-insensitive, then a did-you-mean ContractViolation).
 /// Throws ContractViolation on: no protocols, no k grid (and k_max < 10),
 /// k == 0 cells, runs == 0, invalid shard, invalid arrival parameters, a
-/// protocol lacking the engine view its cells need, EngineMode::kBatched
-/// with non-batch arrivals, or a per-slot observer attached to a grid
-/// with more than one (cell, run) work item.
+/// protocol lacking the engine view its cells need, or a per-slot
+/// observer attached to a grid with more than one (cell, run) work item
+/// or to a batched-mode spec (skipped slots are never materialized).
 ExperimentPlan compile(const ExperimentSpec& spec,
                        const std::vector<ProtocolFactory>& catalogue);
 

@@ -64,6 +64,10 @@ void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
      << ",\"mean_makespan\":" << format_double(result.makespan.mean, 6)
      << ",\"stddev_makespan\":" << format_double(result.makespan.stddev, 6)
      << ",\"min_makespan\":" << format_double(result.makespan.min, 6)
+     << ",\"p25_makespan\":" << format_double(result.makespan.p25, 6)
+     << ",\"median_makespan\":" << format_double(result.makespan.median, 6)
+     << ",\"p75_makespan\":" << format_double(result.makespan.p75, 6)
+     << ",\"p95_makespan\":" << format_double(result.makespan.p95, 6)
      << ",\"max_makespan\":" << format_double(result.makespan.max, 6)
      << ",\"mean_ratio\":" << format_double(result.ratio.mean, 6)    //
      << "}\n";

@@ -112,6 +112,8 @@ const char* engine_mode_name(EngineMode mode) {
       return "batched";
     case EngineMode::kNode:
       return "node";
+    case EngineMode::kNodeBatched:
+      return "node_batched";
   }
   UCR_CHECK(false, "unreachable engine mode");
   return "";

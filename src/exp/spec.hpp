@@ -84,13 +84,15 @@ struct ShardSpec {
   bool operator==(const ShardSpec&) const = default;
 };
 
-/// Which engine executes the fair (batch-arrival) cells of the grid.
-/// Cells with non-batch arrivals always run on the per-node engine — that
-/// is what "the fair aggregate engine does not apply" means — so kFair
-/// and kBatched only select the engine for batch cells, and kBatched
-/// rejects non-batch cells at compile() time (the batched fast path has no
-/// per-node analogue yet; use kFair to mix workloads in one grid).
-enum class EngineMode { kFair, kBatched, kNode };
+/// Which engine executes the cells of the grid. Cells with non-batch
+/// arrivals always run per-station — that is what "the fair aggregate
+/// engine does not apply" means — so kFair and kBatched select the engine
+/// for batch cells and additionally whether non-batch cells take the
+/// exact node engine (kFair) or its batched fast path (kBatched): one
+/// spec-level "fast" switch accelerates the whole grid. kNode /
+/// kNodeBatched force every cell, batch-arrival ones included, onto the
+/// exact / batched per-node engine.
+enum class EngineMode { kFair, kBatched, kNode, kNodeBatched };
 
 const char* engine_mode_name(EngineMode mode);
 

@@ -45,6 +45,14 @@ void KnownKGenieNode::on_slot_end(const Feedback& fb) {
   }
 }
 
+std::uint64_t KnownKGenieNode::stationary_slots() const {
+  return ~std::uint64_t{0};  // constant until the next heard delivery
+}
+
+void KnownKGenieNode::on_non_delivery_slots(std::uint64_t /*count*/) {
+  // Non-success slots do not change the genie's state.
+}
+
 ProtocolFactory make_known_k_factory(std::string name) {
   ProtocolFactory f;
   f.name = std::move(name);

@@ -46,6 +46,12 @@ class KnownKGenieNode final : public NodeProtocol {
   double transmit_probability() override;
   void on_slot_end(const Feedback& fb) override;
 
+  /// Like the fair view: the station's state moves only on heard
+  /// deliveries, so any number of non-success slots may be skipped at
+  /// once and the bulk advance is a no-op.
+  std::uint64_t stationary_slots() const override;
+  void on_non_delivery_slots(std::uint64_t count) override;
+
  private:
   std::uint64_t remaining_;
 };

@@ -123,6 +123,14 @@ void LogFailsAdaptiveNode::on_slot_end(const Feedback& fb) {
   state_.advance(fb.heard_delivery);
 }
 
+std::uint64_t LogFailsAdaptiveNode::stationary_slots() const {
+  return state_.constant_probability_slots();
+}
+
+void LogFailsAdaptiveNode::on_non_delivery_slots(std::uint64_t count) {
+  state_.advance_non_delivery(count);
+}
+
 ProtocolFactory make_log_fails_factory(const LogFailsParams& params,
                                        std::string name) {
   params.validate();

@@ -141,6 +141,14 @@ class LogFailsAdaptiveNode final : public NodeProtocol {
   double transmit_probability() override;
   void on_slot_end(const Feedback& fb) override;
 
+  /// Same stationarity horizon as the fair view: the per-station update
+  /// ignores the station's own transmissions (fails count silent *and*
+  /// collided AT steps alike), so absent a delivery the state is a pure
+  /// function of elapsed slots up to the next BT step or threshold
+  /// crossing.
+  std::uint64_t stationary_slots() const override;
+  void on_non_delivery_slots(std::uint64_t count) override;
+
   const LogFailsState& state() const { return state_; }
 
  private:

@@ -25,4 +25,19 @@ void WindowNodeProtocol::on_slot_end(const Feedback& fb) {
   ++offset_;
 }
 
+std::uint64_t WindowNodeProtocol::stationary_slots() const {
+  // Only meaningful right after transmit_probability() fetched the window
+  // (offset_ < window_ then). Before the in-window transmission the hazard
+  // changes every slot; after it the station is silent to the window end.
+  if (!sent_this_window_ || offset_ >= window_) return 1;
+  return window_ - offset_;
+}
+
+void WindowNodeProtocol::on_non_delivery_slots(std::uint64_t count) {
+  if (count == 0) return;
+  UCR_CHECK(sent_this_window_ && count <= window_ - offset_,
+            "bulk advance beyond the stationary window remainder");
+  offset_ += count;
+}
+
 }  // namespace ucr

@@ -25,6 +25,16 @@ class WindowNodeProtocol final : public NodeProtocol {
   double transmit_probability() override;
   void on_slot_end(const Feedback& fb) override;
 
+  /// Stationarity hint for the batched node engine: a station that already
+  /// transmitted in this window sits at probability 0 until the window
+  /// ends, indifferent to feedback detail — the rest of the window is a
+  /// certified stretch. Before its in-window transmission the hazard
+  /// 1/(W - j) moves every slot, so the hint is 1 (exact per-slot path).
+  /// This is what lets the batched engine skip the long all-stations-done
+  /// window tails that dominate monotone back-off under dynamic arrivals.
+  std::uint64_t stationary_slots() const override;
+  void on_non_delivery_slots(std::uint64_t count) override;
+
   std::uint64_t current_window() const { return window_; }
   std::uint64_t window_offset() const { return offset_; }
 

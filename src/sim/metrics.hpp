@@ -59,21 +59,27 @@ struct EngineOptions {
   bool record_deliveries = false;
   /// Record per-message latencies (per-node engine only; O(k) memory).
   bool record_latencies = false;
-  /// Use the batched fair-engine fast path (sim/fair_engine.hpp):
-  /// O(successes + probability changes) instead of O(slots) for
-  /// slot-probability protocols, O(active stations) instead of O(window
-  /// slots) per window for window protocols. Same law of outcomes as the
-  /// exact engines but a different RNG consumption pattern, so individual
-  /// runs differ; validated statistically (tests/integration). Incompatible
-  /// with `observer` (the skipped slots are never materialized).
+  /// Use the batched fast paths: for the fair engines
+  /// (sim/fair_engine.hpp) O(successes + probability changes) instead of
+  /// O(slots) for slot-probability protocols and O(active stations)
+  /// instead of O(window slots) per window for window protocols; for the
+  /// per-node engine (sim/node_engine.hpp) bulk-sampled stationary
+  /// stretches — empty-channel gaps and constant-probability runs
+  /// certified by NodeProtocol::stationary_slots() — instead of per-slot
+  /// resolution. Same law of outcomes as the exact engines but a
+  /// different RNG consumption pattern wherever a stretch is actually
+  /// skipped, so individual runs differ; validated statistically
+  /// (tests/integration). Incompatible with `observer` (the skipped slots
+  /// are never materialized).
   bool batched = false;
   /// Channel-model extension: stations can distinguish collision from
   /// silence (Feedback::heard_collision). The paper's model — and every
   /// protocol it evaluates — uses false; the CD baselines (stack/tree
   /// algorithms) require true.
   bool collision_detection = false;
-  /// Optional per-slot hook (fair engines only); not owned, may be null.
-  /// See sim/observer.hpp.
+  /// Optional per-slot hook (exact engines only — the batched fast paths
+  /// never materialize skipped slots and throw if one is attached); not
+  /// owned, may be null. See sim/observer.hpp.
   SlotObserver* observer = nullptr;
 
   /// Resolves the cap for a given k.

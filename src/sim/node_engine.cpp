@@ -1,9 +1,13 @@
 #include "sim/node_engine.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "channel/channel.hpp"
 #include "common/check.hpp"
+#include "common/mathx.hpp"
+#include "common/samplers.hpp"
+#include "sim/observer.hpp"
 
 namespace ucr {
 
@@ -47,15 +51,29 @@ RunMetrics run_node_engine(const NodeFactory& factory,
 
     // Transmission decisions.
     std::uint64_t transmitters = 0;
+    double probability_sum = 0.0;
     for (auto& st : active) {
       const double p = st.protocol->transmit_probability();
       UCR_CHECK(p >= 0.0 && p <= 1.0,
                 "protocol produced a probability outside [0, 1]");
+      probability_sum += p;
       st.transmitted_this_slot = rng.next_bernoulli(p);
       transmitters += st.transmitted_this_slot ? 1 : 0;
     }
 
     const SlotOutcome outcome = channel.resolve(transmitters);
+
+    if (options.observer != nullptr) {
+      // SlotView::probability is the mean per-station probability (0 with
+      // no active stations) — the heterogeneous-state generalization of
+      // the fair engines' common per-station probability.
+      const double mean_probability =
+          active.empty()
+              ? 0.0
+              : probability_sum / static_cast<double>(active.size());
+      options.observer->on_slot(
+          SlotView{now, active.size(), mean_probability, outcome});
+    }
 
     // Feedback + deactivation of the successful transmitter.
     std::size_t delivered_index = active.size();
@@ -100,6 +118,211 @@ RunMetrics run_node_engine(const NodeFactory& factory,
   metrics.collision_slots = c.collision;
   metrics.transmissions = c.transmissions;
   metrics.expected_transmissions = static_cast<double>(c.transmissions);
+  metrics.validate();
+  return metrics;
+}
+
+RunMetrics run_node_engine_batched(const NodeFactory& factory,
+                                   const ArrivalPattern& arrivals,
+                                   Xoshiro256& rng,
+                                   const EngineOptions& options,
+                                   LatencyMetrics* latency) {
+  UCR_REQUIRE(std::is_sorted(arrivals.begin(), arrivals.end()),
+              "arrival pattern must be sorted");
+  const std::uint64_t k = arrivals.size();
+  UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  UCR_REQUIRE(options.observer == nullptr,
+              "the batched engine never materializes skipped slots; per-slot "
+              "observers require the exact engine");
+
+  RunMetrics metrics;
+  metrics.k = k;
+  const std::uint64_t cap = options.resolved_cap(k);
+  KahanSum expected_tx;
+
+  std::vector<Station> active;
+  active.reserve(std::min<std::uint64_t>(k, 1u << 20));
+  std::size_t next_arrival = 0;
+  std::vector<double> probs;    // per-station p of the current slot
+  std::vector<double> weights;  // success-attribution weights, reused
+
+  std::uint64_t now = 0;
+  std::uint64_t last_delivery_slot = 0;
+
+  // Shared success bookkeeping of the exact-slot and stretch paths.
+  const auto finish_delivery = [&](std::size_t index) {
+    ++metrics.success_slots;
+    ++metrics.deliveries;
+    last_delivery_slot = now;
+    if (options.record_deliveries) {
+      metrics.delivery_slots.push_back(now);
+    }
+    if (latency != nullptr || options.record_latencies) {
+      const std::uint64_t message_latency =
+          now - active[index].arrival_slot + 1;
+      if (latency != nullptr) latency->latencies.push_back(message_latency);
+      if (options.record_latencies) {
+        metrics.latencies.push_back(message_latency);
+      }
+    }
+    std::swap(active[index], active.back());
+    active.pop_back();
+  };
+
+  while (metrics.deliveries < k && now < cap) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
+      active.push_back(Station{factory(rng), arrivals[next_arrival], false});
+      ++next_arrival;
+    }
+
+    if (active.empty()) {
+      // No station can transmit before the next arrival: the whole gap is
+      // silence. No randomness is consumed — the exact engine draws no
+      // coins in empty slots either, so bit-identity survives the skip.
+      const std::uint64_t until =
+          next_arrival < arrivals.size()
+              ? std::min(arrivals[next_arrival], cap)
+              : cap;
+      metrics.silence_slots += until - now;
+      now = until;
+      continue;
+    }
+
+    // Pass 1: per-station probabilities, the joint stationarity horizon,
+    // and the slot's category law — q = P[silence], s = P[success],
+    // accumulated with the stable station-by-station recurrence (exact for
+    // p in {0, 1}, no catastrophic cancellation for tiny p).
+    probs.resize(active.size());
+    std::uint64_t horizon = ~std::uint64_t{0};
+    double q = 1.0;
+    double s = 0.0;
+    double p_sum = 0.0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Station& st = active[i];
+      const double p = st.protocol->transmit_probability();
+      UCR_CHECK(p >= 0.0 && p <= 1.0,
+                "protocol produced a probability outside [0, 1]");
+      probs[i] = p;
+      horizon = std::min(horizon, st.protocol->stationary_slots());
+      s = s * (1.0 - p) + q * p;
+      q *= 1.0 - p;
+      p_sum += p;
+    }
+    UCR_CHECK(horizon >= 1, "stationary horizon must be >= 1");
+    std::uint64_t stretch = std::min(horizon, cap - now);
+    if (next_arrival < arrivals.size()) {
+      // A new station voids every stationarity certificate: truncate the
+      // stretch at the next arrival (> now after the activation loop).
+      stretch = std::min(stretch, arrivals[next_arrival] - now);
+    }
+
+    if (stretch <= 1) {
+      // No certified stretch: exact single-slot step with the same
+      // per-station draws, in the same order, as run_node_engine — the
+      // bit-identity contract for default-hint workloads.
+      std::uint64_t transmitters = 0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        active[i].transmitted_this_slot = rng.next_bernoulli(probs[i]);
+        transmitters += active[i].transmitted_this_slot ? 1 : 0;
+      }
+      const SlotOutcome outcome = resolve_outcome(transmitters);
+      metrics.transmissions += transmitters;
+      expected_tx.add(static_cast<double>(transmitters));
+      std::size_t delivered_index = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        auto& st = active[i];
+        const Feedback fb = make_feedback(outcome, st.transmitted_this_slot,
+                                          options.collision_detection);
+        st.protocol->on_slot_end(fb);
+        if (fb.delivered_mine) delivered_index = i;
+      }
+      if (outcome == SlotOutcome::kSuccess) {
+        UCR_CHECK(delivered_index < active.size(),
+                  "success slot without an identified transmitter");
+        finish_delivery(delivered_index);
+      } else if (outcome == SlotOutcome::kSilence) {
+        ++metrics.silence_slots;
+      } else {
+        ++metrics.collision_slots;
+      }
+      ++now;
+      continue;
+    }
+
+    // Stationary stretch: slots are i.i.d. categorical until the first
+    // success, so the non-success run length is Geometric(s) truncated at
+    // the stretch, the skipped slots split into silence vs collision with
+    // one binomial draw, and every station advances in bulk. Only the
+    // state-changing slot — the success, if the run ended in one — is
+    // materialized.
+    const std::uint64_t failures = sample_geometric_failures(rng, s, stretch);
+    const bool delivered = failures < stretch;
+    std::uint64_t silent = failures;
+    if (failures > 0 && s < 1.0) {
+      const double conditional = std::min(1.0, q / (1.0 - s));
+      silent = sample_binomial(rng, failures, conditional);
+    }
+    metrics.silence_slots += silent;
+    metrics.collision_slots += failures - silent;
+    // Unconditional per-slot expectation over the whole stretch, success
+    // slot included — the stopping time (first success) is adapted, so by
+    // Wald's identity p_sum * E[stretch length] equals the expected
+    // realized transmission count; adding the realized 1 of the success
+    // slot instead would bias the estimator by 1 - p_sum per delivery
+    // (the batched fair engine uses the same convention).
+    expected_tx.add(p_sum *
+                    static_cast<double>(failures + (delivered ? 1 : 0)));
+    now += failures;
+    for (Station& st : active) {
+      st.protocol->on_non_delivery_slots(failures);
+    }
+    if (!delivered) continue;
+
+    // The success slot has exactly one transmitter: station i with
+    // probability proportional to w_i = p_i * prod_{j != i} (1 - p_j).
+    // With one active station the attribution is deterministic — the
+    // common case under sparse arrivals. Otherwise suffix products
+    // followed by a prefix walk keep the weights exact for p in {0, 1}.
+    std::size_t chosen = 0;
+    if (active.size() > 1) {
+      weights.resize(active.size());
+      double suffix = 1.0;
+      for (std::size_t i = active.size(); i-- > 0;) {
+        weights[i] = probs[i] * suffix;
+        suffix *= 1.0 - probs[i];
+      }
+      double total = 0.0;
+      double prefix = 1.0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        weights[i] *= prefix;
+        total += weights[i];
+        prefix *= 1.0 - probs[i];
+      }
+      UCR_CHECK(total > 0.0, "success slot with zero success probability");
+      double u = rng.next_double() * total;
+      chosen = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (weights[i] <= 0.0) continue;
+        chosen = i;  // last positive-weight station absorbs rounding
+        if (u < weights[i]) break;
+        u -= weights[i];
+      }
+      UCR_CHECK(chosen < active.size(),
+                "failed to attribute the success slot to a transmitter");
+    }
+    ++metrics.transmissions;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Feedback fb = make_feedback(SlotOutcome::kSuccess, i == chosen,
+                                        options.collision_detection);
+      active[i].protocol->on_slot_end(fb);
+    }
+    finish_delivery(chosen);
+    ++now;
+  }
+
+  metrics.completed = metrics.deliveries == k;
+  metrics.slots = metrics.completed ? last_delivery_slot + 1 : cap;
+  metrics.expected_transmissions = expected_tx.value();
   metrics.validate();
   return metrics;
 }

@@ -1,9 +1,20 @@
-// Per-node simulation engine: every station is simulated individually.
+// Per-node simulation engines: every station is simulated individually.
 //
-// This is the ground-truth engine — it makes no fairness assumption, so it
-// supports dynamic arrivals (stations in genuinely different states) and is
-// used by the test suite to validate the aggregate engine statistically.
-// Cost is O(active stations) per slot; use FairEngine for k >> 10^4.
+// run_node_engine is the ground-truth engine — it makes no fairness
+// assumption, so it supports dynamic arrivals (stations in genuinely
+// different states) and is used by the test suite to validate the aggregate
+// engine statistically. Cost is O(active stations) per slot; use FairEngine
+// for batched arrivals at k >> 10^4.
+//
+// run_node_engine_batched is its fast path for the silent stretches dynamic
+// workloads are made of (EngineOptions::batched with node cells): whenever
+// the active-station set is stationary — empty until the next arrival, or
+// every station advertising a constant transmission probability through
+// NodeProtocol::stationary_slots() — the slots are i.i.d. categorical, so
+// the engine samples the geometric length of the non-success run plus one
+// binomial silence/collision split in bulk and materializes only the
+// state-changing (success) slot. Arrivals truncate every stretch, so
+// Poisson/burst workloads stay exact.
 #pragma once
 
 #include <cstdint>
@@ -32,10 +43,44 @@ struct LatencyMetrics {
 ///
 /// `arrivals` must be sorted non-decreasing. Every station gets a protocol
 /// instance from `factory` the moment it is activated. Returns metrics with
-/// `k = arrivals.size()`.
+/// `k = arrivals.size()`. An EngineOptions::observer is invoked once per
+/// resolved slot; SlotView::probability reports the mean per-station
+/// transmission probability of the slot (0 when no station is active),
+/// the per-node generalization of the fair engines' common probability.
 RunMetrics run_node_engine(const NodeFactory& factory,
                            const ArrivalPattern& arrivals, Xoshiro256& rng,
                            const EngineOptions& options,
                            LatencyMetrics* latency = nullptr);
+
+/// Batched fast path of the per-node engine (see the file comment).
+///
+/// Same law of outcomes as run_node_engine — no approximation: within a
+/// stationary stretch the slots are i.i.d. categorical over {silence,
+/// success-by-station-i, collision}, so drawing the truncated geometric
+/// non-success run length, one binomial silence/collision split, and the
+/// delivering station from its conditional distribution reproduces the
+/// exact joint law. Stretches where any active station declines to certify
+/// stationarity (NodeProtocol::stationary_slots() == 1) are resolved with
+/// the exact engine's per-station draws in the same order, and skipping an
+/// empty-channel stretch consumes no randomness at all — so a workload
+/// whose stations all keep the default hint of 1 is bit-identical to
+/// run_node_engine from the same seed, while stretches certified by hints
+/// > 1 consume randomness differently and are pinned statistically
+/// (tests/integration/node_batched_test.cpp), exactly like the batched
+/// fair engines.
+///
+/// Accounting: RunMetrics::transmissions counts materialized slots only;
+/// expected_transmissions carries realized counts for materialized slots
+/// plus the unconditional expectation sum_i p_i per slot of every bulk
+/// stretch, its success slot included — unbiased by Wald's identity, so
+/// its mean matches the exact engine's realized mean, and for a run with
+/// no skipped stretches the two are equal. Incompatible with
+/// EngineOptions::observer — skipped slots are never materialized; the
+/// engine throws ContractViolation if one is attached.
+RunMetrics run_node_engine_batched(const NodeFactory& factory,
+                                   const ArrivalPattern& arrivals,
+                                   Xoshiro256& rng,
+                                   const EngineOptions& options,
+                                   LatencyMetrics* latency = nullptr);
 
 }  // namespace ucr

@@ -36,6 +36,35 @@ class NodeProtocol {
   /// Called once per slot while active; when `fb.delivered_mine` is true the
   /// engine deactivates the station after this call.
   virtual void on_slot_end(const Feedback& fb) = 0;
+
+  /// Batching hint for the per-node fast path (sim/node_engine.hpp): the
+  /// number of upcoming slots — counting the current one — over which this
+  /// station is *stationary* as long as no slot is a success: its
+  /// transmit_probability() stays constant, and its end-of-slot update is
+  /// independent of both its own `transmitted` flag and the silence /
+  /// collision distinction, so the skipped on_slot_end calls are together
+  /// equivalent to one on_non_delivery_slots(count) call. Must be >= 1.
+  /// Queried right after transmit_probability() in the same slot.
+  ///
+  /// This is the per-station analogue of FairSlotProtocol::
+  /// constant_probability_slots(), generalized to heterogeneous state: the
+  /// batched node engine skips min-over-stations stretches. The
+  /// conservative default of 1 keeps every protocol on the exact per-slot
+  /// path (bit-identical to run_node_engine from the same seed).
+  virtual std::uint64_t stationary_slots() const { return 1; }
+
+  /// Bulk equivalent of `count` consecutive on_slot_end calls with
+  /// non-success feedback; the batched engine uses it to advance a station
+  /// across a skipped stretch. Requires count <= stationary_slots() as of
+  /// the first skipped slot. The default replays per-slot calls (correct
+  /// for any protocol honouring the stationarity contract above, which
+  /// makes its state evolution independent of the per-slot feedback
+  /// detail); protocols advertising a horizon > 1 should override it with
+  /// an O(1) update so skipped slots really cost nothing.
+  virtual void on_non_delivery_slots(std::uint64_t count) {
+    const Feedback fb{};
+    for (std::uint64_t i = 0; i < count; ++i) on_slot_end(fb);
+  }
 };
 
 /// Shared-state automaton of a fair slot-probability protocol.

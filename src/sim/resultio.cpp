@@ -13,8 +13,9 @@ namespace ucr {
 namespace {
 
 constexpr const char* kHeader[] = {
-    "protocol", "k",  "runs", "incomplete_runs", "mean_makespan",
-    "stddev",   "min", "max",  "mean_ratio"};
+    "protocol", "k",   "runs",   "incomplete_runs", "mean_makespan",
+    "stddev",   "min", "p25",    "median",          "p75",
+    "p95",      "max", "mean_ratio"};
 constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
 
 double parse_double(const std::string& cell) {
@@ -44,6 +45,10 @@ AggregateRow AggregateRow::from(const AggregateResult& result) {
   row.mean_makespan = result.makespan.mean;
   row.stddev_makespan = result.makespan.stddev;
   row.min_makespan = result.makespan.min;
+  row.p25_makespan = result.makespan.p25;
+  row.median_makespan = result.makespan.median;
+  row.p75_makespan = result.makespan.p75;
+  row.p95_makespan = result.makespan.p95;
   row.max_makespan = result.makespan.max;
   row.mean_ratio = result.ratio.mean;
   return row;
@@ -62,6 +67,10 @@ void write_aggregate_row(std::ostream& os, const AggregateRow& r) {
                     format_double(r.mean_makespan, 6),
                     format_double(r.stddev_makespan, 6),
                     format_double(r.min_makespan, 6),
+                    format_double(r.p25_makespan, 6),
+                    format_double(r.median_makespan, 6),
+                    format_double(r.p75_makespan, 6),
+                    format_double(r.p95_makespan, 6),
                     format_double(r.max_makespan, 6),
                     format_double(r.mean_ratio, 6)});
 }
@@ -127,8 +136,12 @@ std::vector<AggregateRow> read_aggregate_csv(std::istream& is) {
     row.mean_makespan = parse_double(cells[4]);
     row.stddev_makespan = parse_double(cells[5]);
     row.min_makespan = parse_double(cells[6]);
-    row.max_makespan = parse_double(cells[7]);
-    row.mean_ratio = parse_double(cells[8]);
+    row.p25_makespan = parse_double(cells[7]);
+    row.median_makespan = parse_double(cells[8]);
+    row.p75_makespan = parse_double(cells[9]);
+    row.p95_makespan = parse_double(cells[10]);
+    row.max_makespan = parse_double(cells[11]);
+    row.mean_ratio = parse_double(cells[12]);
     rows.push_back(std::move(row));
   }
   return rows;

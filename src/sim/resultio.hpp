@@ -11,7 +11,10 @@
 
 namespace ucr {
 
-/// The persisted projection of an AggregateResult (one CSV row).
+/// The persisted projection of an AggregateResult (one CSV row). Carries
+/// the full makespan quartile/percentile spread the Summary computes —
+/// min, p25, median, p75, p95, max — so archived sweeps can be re-plotted
+/// with distribution envelopes without re-running anything.
 struct AggregateRow {
   std::string protocol;
   std::uint64_t k = 0;
@@ -20,6 +23,10 @@ struct AggregateRow {
   double mean_makespan = 0.0;
   double stddev_makespan = 0.0;
   double min_makespan = 0.0;
+  double p25_makespan = 0.0;
+  double median_makespan = 0.0;
+  double p75_makespan = 0.0;
+  double p95_makespan = 0.0;
   double max_makespan = 0.0;
   double mean_ratio = 0.0;
 

@@ -54,7 +54,9 @@ RunMetrics run_single_node(const ProtocolFactory& factory,
   const NodeFactory node_factory = [&](Xoshiro256& node_rng) {
     return factory.node(k, node_rng);
   };
-  return run_node_engine(node_factory, arrivals, rng, options);
+  return options.batched
+             ? run_node_engine_batched(node_factory, arrivals, rng, options)
+             : run_node_engine(node_factory, arrivals, rng, options);
 }
 
 AggregateResult run_fair_experiment(const ProtocolFactory& factory,

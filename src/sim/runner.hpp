@@ -55,7 +55,9 @@ RunMetrics run_single_fair(const ProtocolFactory& factory, std::uint64_t k,
                            const EngineOptions& options);
 
 /// One execution through the per-node engine, seeded as
-/// stream(seed, run_index).
+/// stream(seed, run_index). EngineOptions::batched selects the batched
+/// node engine (bulk-skipped stationary stretches; same law, different
+/// RNG path wherever a stretch is skipped).
 RunMetrics run_single_node(const ProtocolFactory& factory,
                            const ArrivalPattern& arrivals,
                            std::uint64_t run_index, std::uint64_t seed,

@@ -127,6 +127,11 @@ TEST(JsonlSink, OneObjectPerCellWithIdentity) {
     EXPECT_EQ(l.back(), '}');
     EXPECT_NE(l.find("\"protocol\":\"One-Fail Adaptive\""),
               std::string::npos);
+    // The full percentile spread rides along in every row.
+    for (const char* key : {"\"p25_makespan\":", "\"median_makespan\":",
+                            "\"p75_makespan\":", "\"p95_makespan\":"}) {
+      EXPECT_NE(l.find(key), std::string::npos) << key;
+    }
   }
 }
 

@@ -161,13 +161,6 @@ TEST(Compile, RejectsMalformedSpecs) {
     EXPECT_THROW(compile(spec, catalogue), ContractViolation);
   }
   {
-    ExperimentSpec spec;  // batched engine cannot run non-batch arrivals
-    spec.with_protocol("One-Fail Adaptive").with_ks({10});
-    spec.engine = EngineMode::kBatched;
-    spec.with_arrival(ArrivalSpec::poisson(0.1));
-    EXPECT_THROW(compile(spec, catalogue), ContractViolation);
-  }
-  {
     ExperimentSpec spec;  // invalid shard
     spec.with_protocol("One-Fail Adaptive").with_ks({10});
     spec.shard.index = 3;
@@ -220,7 +213,49 @@ TEST(Compile, BatchedModeIsRecordedOnCells) {
   ASSERT_EQ(plan.cells.size(), 1u);
   EXPECT_EQ(plan.cells[0].engine, EngineMode::kBatched);
   EXPECT_FALSE(plan.cells[0].node_engine());
+  EXPECT_TRUE(plan.cells[0].batched_engine());
   EXPECT_TRUE(plan.points[0].options.batched);
+}
+
+TEST(Compile, BatchedModeAcceleratesNonBatchCellsViaNodeBatched) {
+  // One spec-level switch accelerates the whole grid: under kBatched,
+  // batch cells take the batched fair engine and non-batch cells the
+  // batched node engine (they used to be rejected outright).
+  ExperimentSpec spec;
+  spec.with_protocol("One-Fail Adaptive").with_ks({10});
+  spec.engine = EngineMode::kBatched;
+  spec.with_arrival(ArrivalSpec::batch());
+  spec.with_arrival(ArrivalSpec::poisson(0.1));
+  const ExperimentPlan plan = compile(spec, all_protocols());
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cells[0].engine, EngineMode::kBatched);
+  EXPECT_EQ(plan.cells[1].engine, EngineMode::kNodeBatched);
+  EXPECT_TRUE(plan.cells[1].node_engine());
+  EXPECT_TRUE(plan.cells[1].batched_engine());
+  EXPECT_TRUE(plan.points[0].options.batched);
+  EXPECT_TRUE(plan.points[1].options.batched);
+  EXPECT_STREQ(engine_mode_name(plan.cells[1].engine), "node_batched");
+}
+
+TEST(Compile, NodeBatchedModeForcesEveryCellPerStation) {
+  // kNodeBatched sends even batch-arrival cells through the batched node
+  // engine (the ground-truth engine's fast path on the paper's workload).
+  ExperimentSpec spec;
+  spec.with_protocol("One-Fail Adaptive").with_ks({10});
+  spec.engine = EngineMode::kNodeBatched;
+  spec.with_arrival(ArrivalSpec::batch());
+  const ExperimentPlan plan = compile(spec, all_protocols());
+  ASSERT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].engine, EngineMode::kNodeBatched);
+  EXPECT_TRUE(plan.cells[0].node_engine());
+  EXPECT_TRUE(plan.points[0].options.batched);
+  ASSERT_FALSE(plan.points[0].arrivals.empty());  // a per-node work item
+
+  // Observers stay incompatible with every batched mode.
+  DownsampledSeries series(1);
+  spec.runs = 1;
+  spec.engine_options.observer = &series;
+  EXPECT_THROW(compile(spec, all_protocols()), ContractViolation);
 }
 
 TEST(Compile, PoissonWorkloadsArePairedAcrossProtocols) {

@@ -64,6 +64,33 @@ TEST(WindowNode, ResetsAtWindowBoundary) {
   EXPECT_EQ(node.window_offset(), 0u);
 }
 
+TEST(WindowNode, StationaryHintCoversTheSentWindowRemainder) {
+  WindowNodeProtocol node(std::make_unique<FixedWindow>(6));
+  EXPECT_EQ(node.stationary_slots(), 1u);  // window not fetched yet
+  (void)node.transmit_probability();
+  EXPECT_EQ(node.stationary_slots(), 1u);  // hazard moves every slot
+  node.on_slot_end(quiet_slot(true));      // transmitted at offset 0
+  (void)node.transmit_probability();
+  // Sent: silent through the remaining 5 slots of the window.
+  EXPECT_EQ(node.stationary_slots(), 5u);
+  node.on_non_delivery_slots(3);
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 0.0);
+  EXPECT_EQ(node.stationary_slots(), 2u);
+  node.on_non_delivery_slots(2);  // exactly to the window boundary
+  // New window: hazard restarts.
+  EXPECT_DOUBLE_EQ(node.transmit_probability(), 1.0 / 6.0);
+  EXPECT_EQ(node.window_offset(), 0u);
+}
+
+TEST(WindowNode, BulkAdvanceBeyondTheWindowRemainderThrows) {
+  WindowNodeProtocol node(std::make_unique<FixedWindow>(4));
+  (void)node.transmit_probability();
+  node.on_slot_end(quiet_slot(true));
+  EXPECT_THROW(node.on_non_delivery_slots(4), ContractViolation);  // 3 left
+  EXPECT_NO_THROW(node.on_non_delivery_slots(0));
+  EXPECT_NO_THROW(node.on_non_delivery_slots(3));
+}
+
 TEST(WindowNode, HazardChainIsUniformOverOffsets) {
   // Drive the hazard with real coins; the chosen offset must be uniform.
   const std::uint64_t w = 8;

@@ -208,6 +208,200 @@ TEST(NodeEngine, ListenersHearDeliveries) {
   }
 }
 
+// Stationary protocol for the batched-engine contract tests: constant p
+// forever, unbounded hint, bulk advance counts the slots it was told about.
+class StationaryProb final : public NodeProtocol {
+ public:
+  StationaryProb(double p, std::uint64_t* advanced = nullptr)
+      : p_(p), advanced_(advanced) {}
+  double transmit_probability() override { return p_; }
+  void on_slot_end(const Feedback&) override {
+    if (advanced_ != nullptr) ++*advanced_;
+  }
+  std::uint64_t stationary_slots() const override {
+    return ~std::uint64_t{0};
+  }
+  void on_non_delivery_slots(std::uint64_t count) override {
+    if (advanced_ != nullptr) *advanced_ += count;
+  }
+
+ private:
+  double p_;
+  std::uint64_t* advanced_;
+};
+
+RunMetrics run_both_engines_must_match(const NodeFactory& factory,
+                                       const ArrivalPattern& arrivals,
+                                       std::uint64_t seed,
+                                       const EngineOptions& options) {
+  Xoshiro256 exact_rng(seed);
+  Xoshiro256 batched_rng(seed);
+  const RunMetrics exact =
+      run_node_engine(factory, arrivals, exact_rng, options);
+  const RunMetrics batched =
+      run_node_engine_batched(factory, arrivals, batched_rng, options);
+  EXPECT_EQ(exact.completed, batched.completed);
+  EXPECT_EQ(exact.slots, batched.slots);
+  EXPECT_EQ(exact.deliveries, batched.deliveries);
+  EXPECT_EQ(exact.silence_slots, batched.silence_slots);
+  EXPECT_EQ(exact.collision_slots, batched.collision_slots);
+  EXPECT_EQ(exact.transmissions, batched.transmissions);
+  EXPECT_DOUBLE_EQ(exact.expected_transmissions,
+                   batched.expected_transmissions);
+  return batched;
+}
+
+TEST(BatchedNodeEngine, DefaultHintWorkloadIsBitIdentical) {
+  // Protocols keeping the conservative stationary_slots() == 1 resolve
+  // every busy slot with the exact engine's draws in the exact order, and
+  // empty arrival gaps consume no randomness in either engine — so the
+  // batched engine is a bit-identical drop-in, gaps and all.
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<FixedProb>(0.2);
+  };
+  ArrivalPattern arrivals{0, 0, 0, 700, 700, 5000};
+  const RunMetrics m =
+      run_both_engines_must_match(factory, arrivals, 21, EngineOptions{});
+  EXPECT_TRUE(m.completed);
+}
+
+TEST(BatchedNodeEngine, SkipsEmptyGapToTheCap) {
+  // One undeliverable silent station and a second arrival the cap cuts
+  // off: the batched engine must jump the gap and the tail in bulk and
+  // still report exact per-outcome counts.
+  Xoshiro256 rng(22);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<StationaryProb>(0.0);
+  };
+  ArrivalPattern arrivals{100, 400};
+  EngineOptions opts;
+  opts.max_slots = 5000;
+  const RunMetrics m = run_node_engine_batched(factory, arrivals, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.slots, 5000u);
+  EXPECT_EQ(m.silence_slots, 5000u);
+  EXPECT_EQ(m.deliveries, 0u);
+  EXPECT_EQ(m.transmissions, 0u);
+}
+
+TEST(BatchedNodeEngine, ArrivalsTruncateStationaryStretches) {
+  // Both stations certify an unbounded stationary horizon, but the second
+  // arrival must still cut the first station's stretch: every station's
+  // bulk advance has to cover exactly the slots it was active for.
+  Xoshiro256 rng(23);
+  std::uint64_t advanced_first = 0;
+  std::uint64_t advanced_second = 0;
+  int instance = 0;
+  const NodeFactory factory = [&](Xoshiro256&) {
+    return std::make_unique<StationaryProb>(
+        0.0, instance++ == 0 ? &advanced_first : &advanced_second);
+  };
+  ArrivalPattern arrivals{0, 100};
+  EngineOptions opts;
+  opts.max_slots = 300;
+  const RunMetrics m = run_node_engine_batched(factory, arrivals, rng, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.slots, 300u);
+  EXPECT_EQ(advanced_first, 300u);
+  EXPECT_EQ(advanced_second, 200u);
+}
+
+TEST(BatchedNodeEngine, PermanentCollisionStretchMatchesExactEngine) {
+  // Two always-transmitting stationary stations: success probability 0,
+  // silence probability 0 — the whole capped run is one bulk collision
+  // stretch, and neither engine consumes randomness. Outcome counts are
+  // identical; the realized transmission count of the skipped slots is
+  // not materialized and shows up in expected_transmissions instead (the
+  // documented accounting of the batched engine).
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<StationaryProb>(1.0);
+  };
+  EngineOptions opts;
+  opts.max_slots = 200;
+  Xoshiro256 exact_rng(24);
+  Xoshiro256 batched_rng(24);
+  const RunMetrics exact =
+      run_node_engine(factory, batched_arrivals(2), exact_rng, opts);
+  const RunMetrics batched =
+      run_node_engine_batched(factory, batched_arrivals(2), batched_rng,
+                              opts);
+  EXPECT_FALSE(batched.completed);
+  EXPECT_EQ(batched.collision_slots, 200u);
+  EXPECT_EQ(exact.slots, batched.slots);
+  EXPECT_EQ(exact.silence_slots, batched.silence_slots);
+  EXPECT_EQ(exact.collision_slots, batched.collision_slots);
+  EXPECT_EQ(exact.transmissions, 400u);  // 2 stations x 200 slots
+  EXPECT_EQ(batched.transmissions, 0u);  // nothing materialized
+  EXPECT_DOUBLE_EQ(exact.expected_transmissions,
+                   batched.expected_transmissions);
+}
+
+TEST(BatchedNodeEngine, StationaryStretchDeliversWithLatencies) {
+  Xoshiro256 rng(25);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<StationaryProb>(0.25);
+  };
+  ArrivalPattern arrivals{7};
+  EngineOptions opts;
+  opts.record_deliveries = true;
+  opts.record_latencies = true;
+  LatencyMetrics latency;
+  const RunMetrics m =
+      run_node_engine_batched(factory, arrivals, rng, opts, &latency);
+  ASSERT_TRUE(m.completed);
+  ASSERT_EQ(m.delivery_slots.size(), 1u);
+  EXPECT_GE(m.delivery_slots[0], 7u);  // cannot deliver before arrival
+  EXPECT_EQ(m.slots, m.delivery_slots[0] + 1);
+  ASSERT_EQ(latency.latencies.size(), 1u);
+  EXPECT_EQ(latency.latencies[0], m.delivery_slots[0] - 7 + 1);
+  ASSERT_EQ(m.latencies.size(), 1u);
+  EXPECT_EQ(m.latencies[0], latency.latencies[0]);
+  EXPECT_EQ(m.transmissions, 1u);  // only the success slot materializes
+}
+
+TEST(BatchedNodeEngine, ExpectedTransmissionsIsUnbiasedOverStretches) {
+  // Two stationary stations with p = 0.4 (p_sum = 0.8): every run is one
+  // or two bulk stretches ending in a success. The stretch accounting
+  // must credit p_sum per elapsed slot including the success slot (Wald)
+  // — crediting the realized 1 instead would bias the mean by
+  // 1 - p_sum = +0.2 per delivery, far outside the tolerance below.
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<StationaryProb>(0.4);
+  };
+  const std::uint64_t runs = 20000;
+  double exact_sum = 0.0;
+  double batched_sum = 0.0;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    Xoshiro256 exact_rng = Xoshiro256::stream(91, r);
+    Xoshiro256 batched_rng = Xoshiro256::stream(92, r);
+    exact_sum += run_node_engine(factory, batched_arrivals(2), exact_rng,
+                                 EngineOptions{})
+                     .expected_transmissions;
+    batched_sum += run_node_engine_batched(factory, batched_arrivals(2),
+                                           batched_rng, EngineOptions{})
+                       .expected_transmissions;
+  }
+  const double exact_mean = exact_sum / static_cast<double>(runs);
+  const double batched_mean = batched_sum / static_cast<double>(runs);
+  // Means are ~2.67 with per-run stddev ~2; 20k runs put the combined
+  // standard error near 0.02, so 0.1 covers the Monte-Carlo noise while
+  // catching the 0.4-per-run bias of the wrong convention.
+  EXPECT_NEAR(exact_mean, batched_mean, 0.1);
+}
+
+TEST(BatchedNodeEngine, RejectsUnsortedArrivalsAndEmptyWorkloads) {
+  Xoshiro256 rng(26);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<AlwaysTransmit>();
+  };
+  ArrivalPattern unsorted{5, 3, 1};
+  EXPECT_THROW(
+      run_node_engine_batched(factory, unsorted, rng, EngineOptions{}),
+      ContractViolation);
+  EXPECT_THROW(run_node_engine_batched(factory, {}, rng, EngineOptions{}),
+               ContractViolation);
+}
+
 TEST(NodeEngine, ValidatedMetricsInvariants) {
   Xoshiro256 rng(11);
   const NodeFactory factory = [](Xoshiro256&) {

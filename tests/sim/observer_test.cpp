@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/check.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "sim/fair_engine.hpp"
+#include "sim/node_engine.hpp"
 
 namespace ucr {
 namespace {
@@ -81,6 +84,79 @@ TEST(Observer, ActiveCountIsPreDeliveryDensity) {
   for (std::size_t i = 1; i < series.series().size(); ++i) {
     EXPECT_LE(series.series()[i].active, series.series()[i - 1].active);
   }
+}
+
+TEST(Observer, NodeEngineCallsOncePerSlot) {
+  // The exact node engine materializes every slot, so metrics and
+  // observer-derived traces must agree slot for slot — same contract the
+  // fair engines honour.
+  DownsampledSeries series(1);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<OneFailAdaptiveNode>();
+  };
+  Xoshiro256 rng(5);
+  EngineOptions opts;
+  opts.observer = &series;
+  const RunMetrics m =
+      run_node_engine(factory, batched_arrivals(30), rng, opts);
+  EXPECT_EQ(series.observed_slots(), m.slots);
+  EXPECT_EQ(series.series().size(), m.slots);
+  std::uint64_t successes = 0;
+  for (const auto& v : series.series()) {
+    if (v.outcome == SlotOutcome::kSuccess) ++successes;
+  }
+  EXPECT_EQ(successes, m.success_slots);
+}
+
+TEST(Observer, NodeEngineSeesEmptyArrivalGapSlots) {
+  // The PR 2 window-engine pending==0 regression, ported: the slots of an
+  // empty arrival gap are exactly the ones the batched node engine
+  // bulk-skips, and the exact engine must still hand every one of them to
+  // the observer — as silence, with zero active stations and probability
+  // 0 — so observer traces never diverge from RunMetrics.
+  DownsampledSeries series(1);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<OneFailAdaptiveNode>();
+  };
+  Xoshiro256 rng(6);
+  EngineOptions opts;
+  opts.observer = &series;
+  opts.record_deliveries = true;
+  ArrivalPattern arrivals{0, 200};
+  const RunMetrics m = run_node_engine(factory, arrivals, rng, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(series.observed_slots(), m.slots);
+  // Every slot after the first delivery and before slot 200 is an empty
+  // gap slot: silence, no active stations, probability 0.
+  const std::uint64_t first_delivery = m.delivery_slots.empty()
+                                           ? series.series().size()
+                                           : m.delivery_slots.front();
+  bool saw_gap_slot = false;
+  for (const auto& v : series.series()) {
+    if (v.slot > first_delivery && v.slot < 200) {
+      saw_gap_slot = true;
+      EXPECT_EQ(v.outcome, SlotOutcome::kSilence);
+      EXPECT_EQ(v.active, 0u);
+      EXPECT_DOUBLE_EQ(v.probability, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_gap_slot);
+}
+
+TEST(Observer, BatchedNodeEngineRejectsObservers) {
+  // Skipped stretches are never materialized: attaching a per-slot
+  // observer to the batched node engine is a contract violation, exactly
+  // as for the batched fair engines.
+  DownsampledSeries series(1);
+  const NodeFactory factory = [](Xoshiro256&) {
+    return std::make_unique<OneFailAdaptiveNode>();
+  };
+  Xoshiro256 rng(7);
+  EngineOptions opts;
+  opts.observer = &series;
+  EXPECT_THROW(
+      run_node_engine_batched(factory, batched_arrivals(10), rng, opts),
+      ContractViolation);
 }
 
 TEST(Observer, WindowEngineReportsHazards) {

@@ -61,6 +61,10 @@ TEST(ResultIo, RoundTripPreservesRows) {
   rows[0].mean_makespan = 7432.5;
   rows[0].stddev_makespan = 51.25;
   rows[0].min_makespan = 7300;
+  rows[0].p25_makespan = 7390.25;
+  rows[0].median_makespan = 7430;
+  rows[0].p75_makespan = 7477.5;
+  rows[0].p95_makespan = 7539.125;
   rows[0].max_makespan = 7550;
   rows[0].mean_ratio = 7.4325;
   rows[1].protocol = "Log-Fails Adaptive (2)";  // name with parentheses
@@ -80,6 +84,10 @@ TEST(ResultIo, RoundTripPreservesRows) {
   EXPECT_EQ(back[0].runs, rows[0].runs);
   EXPECT_NEAR(back[0].mean_makespan, rows[0].mean_makespan, 1e-5);
   EXPECT_NEAR(back[0].stddev_makespan, rows[0].stddev_makespan, 1e-5);
+  EXPECT_NEAR(back[0].p25_makespan, rows[0].p25_makespan, 1e-5);
+  EXPECT_NEAR(back[0].median_makespan, rows[0].median_makespan, 1e-5);
+  EXPECT_NEAR(back[0].p75_makespan, rows[0].p75_makespan, 1e-5);
+  EXPECT_NEAR(back[0].p95_makespan, rows[0].p95_makespan, 1e-5);
   EXPECT_NEAR(back[0].mean_ratio, rows[0].mean_ratio, 1e-5);
   EXPECT_EQ(back[1].incomplete_runs, 1u);
   EXPECT_EQ(back[1].protocol, rows[1].protocol);
@@ -93,7 +101,17 @@ TEST(ResultIo, FromAggregateResult) {
   EXPECT_EQ(row.k, 50u);
   EXPECT_EQ(row.runs, 4u);
   EXPECT_DOUBLE_EQ(row.mean_makespan, res.makespan.mean);
+  EXPECT_DOUBLE_EQ(row.p25_makespan, res.makespan.p25);
+  EXPECT_DOUBLE_EQ(row.median_makespan, res.makespan.median);
+  EXPECT_DOUBLE_EQ(row.p75_makespan, res.makespan.p75);
+  EXPECT_DOUBLE_EQ(row.p95_makespan, res.makespan.p95);
   EXPECT_DOUBLE_EQ(row.mean_ratio, res.ratio.mean);
+  // The percentile spread brackets the extremes the row also carries.
+  EXPECT_LE(row.min_makespan, row.p25_makespan);
+  EXPECT_LE(row.p25_makespan, row.median_makespan);
+  EXPECT_LE(row.median_makespan, row.p75_makespan);
+  EXPECT_LE(row.p75_makespan, row.p95_makespan);
+  EXPECT_LE(row.p95_makespan, row.max_makespan);
 }
 
 TEST(ResultIo, RejectsGarbage) {
@@ -104,14 +122,20 @@ TEST(ResultIo, RejectsGarbage) {
   EXPECT_THROW(read_aggregate_csv(bad_header), ContractViolation);
 
   std::stringstream bad_cols(
-      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
-      "mean_ratio\nX,1,2\n");
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
+      "p75,p95,max,mean_ratio\nX,1,2\n");
   EXPECT_THROW(read_aggregate_csv(bad_cols), ContractViolation);
 
   std::stringstream bad_number(
-      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
-      "mean_ratio\nX,abc,2,0,1,1,1,1,1\n");
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
+      "p75,p95,max,mean_ratio\nX,abc,2,0,1,1,1,1,1,1,1,1,1\n");
   EXPECT_THROW(read_aggregate_csv(bad_number), ContractViolation);
+
+  // The pre-percentile 9-column format is rejected loudly, not misread.
+  std::stringstream old_format(
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
+      "mean_ratio\nX,1,2,0,1,1,1,1,1\n");
+  EXPECT_THROW(read_aggregate_csv(old_format), ContractViolation);
 }
 
 TEST(ResultIo, SkipsBlankLines) {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Documentation gate for CI (.github/workflows/ci.yml, `docs` job).
+
+Two checks, both hard failures:
+
+1. Relative markdown links in README.md, EXPERIMENTS.md and docs/*.md
+   must resolve to files inside the repository (no 404s within the
+   tree). External (http/https/mailto) links and pure #anchors are
+   skipped.
+2. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
+   prints must appear as a `## <name>` section heading in
+   docs/PROTOCOLS.md — the same contract the tier-1 drift test
+   (tests/docs/protocols_doc_test.cpp) enforces, re-checked here from
+   the built binary so the docs job cannot pass with a stale catalog.
+
+Exit codes: 0 ok, 1 check failed, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_doc_files(root: pathlib.Path):
+    for name in ("README.md", "EXPERIMENTS.md"):
+        path = root / name
+        if path.is_file():
+            yield path
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_links(root: pathlib.Path) -> list[str]:
+    errors = []
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(root)}: broken relative link "
+                    f"'{target}'"
+                )
+    return errors
+
+
+def registered_names(cli: str) -> list[str]:
+    out = subprocess.run(
+        [cli, "--list"], check=True, capture_output=True, text=True
+    ).stdout
+    names = []
+    for line in out.splitlines():
+        if line.startswith("  "):
+            names.append(line.strip())
+    if not names:
+        raise RuntimeError(f"'{cli} --list' printed no protocol names")
+    return names
+
+
+def check_protocol_catalog(root: pathlib.Path, cli: str) -> list[str]:
+    catalog = root / "docs" / "PROTOCOLS.md"
+    if not catalog.is_file():
+        return ["docs/PROTOCOLS.md is missing"]
+    text = catalog.read_text(encoding="utf-8")
+    errors = []
+    for name in registered_names(cli):
+        if f"## {name}\n" not in text:
+            errors.append(
+                f"docs/PROTOCOLS.md: missing '## {name}' section for "
+                f"registered protocol '{name}'"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument(
+        "--cli",
+        help="path to a built ucr_cli; enables the protocol-catalog check",
+    )
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "README.md").is_file():
+        print(f"error: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    errors = check_links(root)
+    if args.cli:
+        try:
+            errors += check_protocol_catalog(root, args.cli)
+        except (OSError, subprocess.CalledProcessError, RuntimeError) as e:
+            print(f"error: protocol catalog check failed to run: {e}",
+                  file=sys.stderr)
+            return 2
+
+    for error in errors:
+        print(f"FAIL: {error}")
+    if errors:
+        return 1
+    checked = "links" + (" + protocol catalog" if args.cli else "")
+    print(f"docs check ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@
 //   ucr_cli --protocols=paper --kmax=1000000 --shard=0/4 --format=csv
 //   ucr_cli --protocol="LogLog-Iterated Back-off" --k=500
 //           --arrivals=poisson --lambda=0.1 --runs=5 --format=jsonl
+//   ucr_cli --protocol="Exp Back-on/Back-off" --k=100000
+//           --arrivals=poisson --lambda=0.02 --engine=node_batched
 //   ucr_cli --protocol="One-Fail Adaptive" --k=1000 --csv=1
 #include <iostream>
 #include <utility>
@@ -56,10 +58,13 @@ int usage(const std::string& error) {
          "  --kmax=N          the paper's sweep: powers of ten up to N\n"
          "  --runs=N          independent runs per cell (default 10)\n"
          "  --seed=N          base seed (default 2011)\n"
-         "  --engine=fair|batched|node   aggregate engine (default), its\n"
-         "                    batched fast path (paper-scale k; same law\n"
-         "                    of outcomes, different RNG path), or the\n"
-         "                    per-station engine\n"
+         "  --engine=fair|batched|node|node_batched\n"
+         "                    aggregate engine (default), the batched fast\n"
+         "                    paths (paper-scale k and long dynamic\n"
+         "                    workloads; same law of outcomes, different\n"
+         "                    RNG path; batched also accelerates non-batch\n"
+         "                    cells via the batched per-station engine), or\n"
+         "                    the exact/batched per-station engine\n"
          "  --arrivals=LIST   per-cell workloads, comma-separated from\n"
          "                    batch|poisson|burst (default batch;\n"
          "                    non-batch cells run per-station)\n"
@@ -140,8 +145,10 @@ int run_spec(const ucr::CliArgs& args) {
     spec.engine = ucr::exp::EngineMode::kBatched;
   } else if (engine == "node") {
     spec.engine = ucr::exp::EngineMode::kNode;
+  } else if (engine == "node_batched") {
+    spec.engine = ucr::exp::EngineMode::kNodeBatched;
   } else {
-    return usage("unknown --engine (fair, batched or node)");
+    return usage("unknown --engine (fair, batched, node or node_batched)");
   }
 
   // Arrival axis.
