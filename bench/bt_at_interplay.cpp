@@ -67,7 +67,16 @@ class InterplaySink final : public ucr::exp::ResultSink {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
+  auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
+  if (cfg.spec_file) {
+    // Loud, not silent: the AT/BT attribution needs record_deliveries
+    // and One-Fail's even-step BT numbering — a foreign grid would
+    // digest to zeros. Run this harness's own grid instead.
+    std::cout << "note: --spec/UCR_SPEC is ignored by bt_at_interplay "
+                 "(the AT/BT digest is specific to One-Fail Adaptive's "
+                 "delivery recording)\n\n";
+    cfg.spec_file.reset();
+  }
 
   std::cout << "=== One-Fail Adaptive: AT vs BT division of labour ("
             << cfg.runs << " runs) ===\n\n";

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
 
   std::cout << "=== Collision detection vs the paper's model "
-            << "(ratio steps/k, " << cfg.runs << " runs) ===\n\n";
+            << "(ratio steps/k, " << cfg.effective_runs() << " runs) ===\n\n";
 
   std::vector<std::uint64_t> ks;
   for (std::uint64_t k = 100; k <= cfg.k_max; k *= 10) ks.push_back(k);
@@ -32,10 +32,9 @@ int main(int argc, char** argv) {
       .with_factory(ucr::make_known_k_factory());
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid "
-              << "(stack-tree column omitted on sharded runs):\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    std::cout << "(stack-tree column omitted on non-pivot runs)\n";
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
 

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 10000);
   const std::uint64_t k = cfg.k_max;
 
-  std::cout << "=== delta ablation at k = " << k << " (" << cfg.runs
+  std::cout << "=== delta ablation at k = " << k << " (" << cfg.effective_runs()
             << " runs) ===\n\n";
 
   // Both ablation axes run as one spec; the grid is the OFA deltas
@@ -39,9 +39,8 @@ int main(int argc, char** argv) {
   }
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
   const auto& results = run.results;

@@ -22,10 +22,12 @@
 namespace {
 
 /// Per-cell latency digest over the concatenated per-run latencies (run
-/// order, so deterministic for any thread count).
+/// order, so deterministic for any thread count). The percentiles
+/// themselves now ride along in the aggregate (latency_p50/p95/p99, also
+/// persisted per CSV/JSONL row); mean and the Jain fairness index are the
+/// extras this harness still derives from the details.
 struct LatencyDigest {
   double mean = 0.0;
-  double p95 = 0.0;
   double fairness = 0.0;  // Jain index over per-message latencies
 };
 
@@ -37,9 +39,7 @@ LatencyDigest digest_latencies(const ucr::AggregateResult& result) {
     }
   }
   LatencyDigest out;
-  const auto summary = ucr::summarize(latencies);
-  out.mean = summary.mean;
-  out.p95 = summary.p95;
+  out.mean = ucr::summarize(latencies).mean;
   if (!latencies.empty()) {
     out.fairness = ucr::jain_fairness_index(latencies);
   }
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   const auto cfg = ucr::bench::parse_harness_config(argc, argv, 200);
   const std::uint64_t k = cfg.k_max;  // per-node engine: keep k moderate
 
-  std::cout << "=== Dynamic arrivals (k = " << k << ", " << cfg.runs
+  std::cout << "=== Dynamic arrivals (k = " << k << ", " << cfg.effective_runs()
             << " runs per cell, per-node engine) ===\n\n";
 
   const std::vector<double> lambdas{0.02, 0.1, 0.5};
@@ -82,9 +82,8 @@ int main(int argc, char** argv) {
 
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
 
@@ -99,14 +98,16 @@ int main(int argc, char** argv) {
                 << " messages, gap 64 slots\n";
     }
     ucr::Table table(
-        {"protocol", "mean makespan", "mean latency", "p95 latency",
-         "fairness", "incomplete"});
+        {"protocol", "mean makespan", "mean latency", "p50 latency",
+         "p95 latency", "p99 latency", "fairness", "incomplete"});
     for (std::size_t p = 0; p < protocol_count; ++p) {
       const auto& res = run.results[p * arrival_count + a];
       const LatencyDigest lat = digest_latencies(res);
       table.add_row({res.protocol, ucr::format_count(res.makespan.mean),
                      ucr::format_double(lat.mean, 1),
-                     ucr::format_double(lat.p95, 1),
+                     ucr::format_double(res.latency_p50, 1),
+                     ucr::format_double(res.latency_p95, 1),
+                     ucr::format_double(res.latency_p99, 1),
                      ucr::format_double(lat.fairness, 3),
                      std::to_string(res.incomplete_runs)});
     }

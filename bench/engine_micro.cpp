@@ -1,17 +1,31 @@
 // Microbenchmarks (google-benchmark) of the simulation substrate: sampler
 // throughput and slots/second of both engines. These justify the engine
 // split documented in DESIGN.md §4 — the aggregate engine is what makes
-// the paper's k = 10^7 sweep feasible on a laptop.
+// the paper's k = 10^7 sweep feasible on a laptop. BM_SpecSweep times the
+// whole spec -> plan -> run pipeline on a *versioned* workload
+// (specs/engine-micro.spec, overridable with UCR_SPEC), so the CI
+// regression baseline is itself a spec file next to the code.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/samplers.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
+#include "core/registry.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/spec_io.hpp"
 #include "protocols/exp_backoff.hpp"
 #include "protocols/known_k.hpp"
 #include "sim/fair_engine.hpp"
 #include "sim/node_engine.hpp"
+
+#ifndef UCR_ENGINE_MICRO_SPEC
+#define UCR_ENGINE_MICRO_SPEC "specs/engine-micro.spec"
+#endif
 
 namespace {
 
@@ -151,6 +165,40 @@ void BM_NodeEngine_OneFail(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(slots));
 }
 BENCHMARK(BM_NodeEngine_OneFail)->Arg(100)->Arg(1000);
+
+// Whole-pipeline sweep from a versioned spec file. One iteration = the
+// complete sweep the file describes (compile is outside the loop: the
+// regression target is execution, not parsing).
+void BM_SpecSweep(benchmark::State& state) {
+  const char* env = std::getenv("UCR_SPEC");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : UCR_ENGINE_MICRO_SPEC;
+  ucr::exp::SpecFile file;
+  try {
+    file = ucr::exp::load_spec_file(path);
+  } catch (const ucr::ContractViolation& e) {
+    state.SkipWithError(e.what());
+    return;
+  }
+  const ucr::exp::ExperimentPlan plan =
+      ucr::exp::compile(file.spec, ucr::default_catalogue());
+
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    const auto results = ucr::exp::run_collect(plan, {file.threads});
+    for (const auto& result : results) {
+      for (const auto& detail : result.details) slots += detail.slots;
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+  state.SetLabel(path);
+}
+// The sweep executes on pool workers, so the main thread's own CPU time
+// is idle waiting: measure process-wide CPU (what bench_compare.py
+// tracks) and pace iterations by wall clock. The shipped spec pins
+// threads = 1 so process CPU is the work itself, not scheduler noise.
+BENCHMARK(BM_SpecSweep)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

@@ -67,6 +67,12 @@ int main(int argc, char** argv) {
   auto cfg = ucr::bench::parse_harness_config(argc, argv, 100000);
   const std::uint64_t k = cfg.k_max;
   cfg.batched = false;  // per-slot observers require the exact engine
+  if (cfg.spec_file) {
+    // Loud, not silent: this harness traces fixed protocol pairs through
+    // per-slot observers; an external grid cannot replace that.
+    std::cout << "note: --spec/UCR_SPEC is ignored by estimator_dynamics "
+                 "(observer traces run its own fixed cells)\n\n";
+  }
 
   std::cout << "=== Density-estimator trajectories (observer hook) ===\n\n";
 

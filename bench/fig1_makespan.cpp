@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   const auto ks = ucr::paper_k_sweep(cfg.k_max);
 
   std::cout << "=== Figure 1: steps to solve static k-selection "
-            << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
-            << ") ===\n\n";
+            << "(mean of " << cfg.effective_runs() << " runs, seed "
+            << cfg.effective_seed() << ") ===\n\n";
 
   // The protocol x k grid is one declarative spec; run_spec executes it on
   // the shared pipeline (results in grid order, UCR_CSV_OUT streaming,
@@ -30,9 +30,8 @@ int main(int argc, char** argv) {
   for (const auto& factory : protocols) spec.with_factory(factory);
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
 

@@ -21,6 +21,20 @@
 //                               (cross-machine sweeps; concatenated
 //                               UCR_CSV_OUT files are byte-identical to
 //                               the unsharded sweep)
+//   --spec=FILE  / UCR_SPEC     run the spec file's grid INSTEAD of the
+//                               harness's own (exp/spec_io.hpp format;
+//                               protocol names resolve against
+//                               default_catalogue()). The harness then
+//                               renders the generic flat cell listing —
+//                               its pivot tables describe its own grid —
+//                               while UCR_CSV_OUT / UCR_JSONL_OUT archive
+//                               the file's sweep, so a versioned spec in
+//                               specs/ IS the regression workload.
+//                               --shard and --threads (and their
+//                               environment forms) still override the
+//                               file; --kmax/--runs/--seed/--batched
+//                               describe the harness grid and are ignored
+//                               with a spec override.
 //
 // Harnesses describe their grid as an ExperimentSpec (exp/spec.hpp) and
 // execute it with run_spec() below — the same spec -> plan -> sink
@@ -51,10 +65,12 @@
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/registry.hpp"
 #include "exp/plan.hpp"
 #include "exp/run.hpp"
 #include "exp/sink.hpp"
 #include "exp/spec.hpp"
+#include "exp/spec_io.hpp"
 #include "sim/metrics.hpp"
 
 namespace ucr::bench {
@@ -66,6 +82,13 @@ struct HarnessConfig {
   unsigned threads;
   bool batched;
   exp::ShardSpec shard;
+  /// Set by --spec / UCR_SPEC: the file's grid replaces the harness's own
+  /// in run_spec / run_spec_with_sinks.
+  std::optional<exp::SpecFile> spec_file;
+  /// Whether --shard / --threads were given explicitly (they then beat
+  /// the spec file's values too).
+  bool shard_given = false;
+  bool threads_given = false;
 
   /// Spec pre-filled with this harness invocation's runs / seed / engine
   /// mode / shard; the harness adds its protocol, k and arrival axes.
@@ -78,23 +101,61 @@ struct HarnessConfig {
     spec.shard = shard;
     return spec;
   }
+
+  /// True when the harness's own pivot rendering applies: the whole grid
+  /// is present (unsharded) and it is the harness's own grid (no
+  /// spec-file override). Sharded blocks and file-defined grids render
+  /// through print_generic instead.
+  bool pivot_render() const {
+    return effective_shard().is_whole() && !spec_file;
+  }
+
+  /// What the executed grid actually uses — the spec file's values when
+  /// one overrides the harness grid — so banners and listings never
+  /// report the harness defaults for a run they did not perform.
+  std::uint64_t effective_runs() const {
+    return spec_file ? spec_file->spec.runs : runs;
+  }
+  std::uint64_t effective_seed() const {
+    return spec_file ? spec_file->spec.seed : seed;
+  }
+  exp::ShardSpec effective_shard() const {
+    return (spec_file && !shard_given) ? spec_file->spec.shard : shard;
+  }
 };
 
 inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
                                           std::uint64_t default_kmax) {
-  const CliArgs args(argc, argv,
-                     {"kmax", "runs", "seed", "threads", "batched", "shard"});
+  const CliArgs args(argc, argv, {"kmax", "runs", "seed", "threads",
+                                  "batched", "shard", "spec"});
   HarnessConfig cfg;
   cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
   cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
   cfg.seed = args.get_u64("seed", env_u64("UCR_SEED", 2011));
   cfg.threads = thread_count_option(args, "UCR_THREADS");
+  // An empty UCR_THREADS means unset, exactly as thread_count_option
+  // treats it — it must not count as an override of a spec file.
+  const char* threads_env = std::getenv("UCR_THREADS");
+  cfg.threads_given = args.get("threads").has_value() ||
+                      (threads_env != nullptr && *threads_env != '\0');
   cfg.batched = args.get_bool("batched", env_u64("UCR_BATCHED", 0) != 0);
   std::optional<std::string> shard = args.get("shard");
   if (!shard) {
     if (const char* env = std::getenv("UCR_SHARD")) shard = std::string(env);
   }
-  if (shard) cfg.shard = exp::ShardSpec::parse(*shard);
+  if (shard) {
+    cfg.shard = exp::ShardSpec::parse(*shard);
+    cfg.shard_given = true;
+  }
+  std::optional<std::string> spec_path = args.get("spec");
+  if (!spec_path) {
+    if (const char* env = std::getenv("UCR_SPEC")) {
+      if (*env != '\0') spec_path = std::string(env);
+    }
+  }
+  if (spec_path) {
+    cfg.spec_file = exp::load_spec_file(*spec_path);
+  }
   return cfg;
 }
 
@@ -117,7 +178,19 @@ struct SpecRun {
 inline void run_spec_with_sinks(const HarnessConfig& cfg,
                                 const exp::ExperimentSpec& spec,
                                 std::vector<exp::ResultSink*> sinks) {
-  const exp::ExperimentPlan plan = exp::compile(spec);
+  // --spec / UCR_SPEC: the file's grid replaces the harness's own
+  // (explicit --shard / --threads still win). File specs select protocols
+  // by name, so they compile against the shared live catalogue.
+  unsigned threads = cfg.threads;
+  exp::ExperimentPlan plan;
+  if (cfg.spec_file) {
+    exp::ExperimentSpec file_spec = cfg.spec_file->spec;
+    file_spec.shard = cfg.effective_shard();
+    if (!cfg.threads_given) threads = cfg.spec_file->threads;
+    plan = exp::compile(file_spec, default_catalogue());
+  } else {
+    plan = exp::compile(spec);
+  }
   const auto open_archive = [](const char* env, std::ofstream& file) {
     const char* out = std::getenv(env);
     if (out == nullptr || *out == '\0') return false;  // unset/empty: off
@@ -138,7 +211,7 @@ inline void run_spec_with_sinks(const HarnessConfig& cfg,
     jsonl.emplace(jsonl_file);
     sinks.push_back(&*jsonl);
   }
-  exp::run(plan, sinks, {cfg.threads});
+  exp::run(plan, sinks, {threads});
 }
 
 /// run_spec_with_sinks through a MemorySink — the fit for table-rendering
@@ -152,8 +225,9 @@ inline SpecRun run_spec(const HarnessConfig& cfg,
   return SpecRun{memory.cells(), memory.take_results()};
 }
 
-/// Flat per-cell listing, the rendering for sharded invocations (a pivot
-/// table over the full grid cannot be assembled from one shard's block).
+/// Flat per-cell listing, the rendering for invocations whose grid is not
+/// the harness's own pivot shape (a pivot table over the full grid cannot
+/// be assembled from one shard's block, nor from a spec-file grid).
 inline void print_cells(std::ostream& os, const SpecRun& run) {
   Table table({"cell", "protocol", "k", "arrivals", "mean makespan",
                "mean ratio", "incomplete"});
@@ -166,6 +240,23 @@ inline void print_cells(std::ostream& os, const SpecRun& run) {
                    std::to_string(res.incomplete_runs)});
   }
   table.print(os);
+}
+
+/// The non-pivot rendering path (`!cfg.pivot_render()`): names why the
+/// grid is generic — one shard block, or a spec-file grid — with the
+/// runs/seed/shard the grid actually used, then lists the cells flat.
+inline void print_generic(std::ostream& os, const HarnessConfig& cfg,
+                          const SpecRun& run) {
+  const exp::ShardSpec shard = cfg.effective_shard();
+  if (cfg.spec_file) {
+    os << "spec-file grid (" << run.results.size() << " cells"
+       << (shard.is_whole() ? std::string() : ", shard " + shard.label())
+       << ", " << cfg.effective_runs() << " runs, seed "
+       << cfg.effective_seed() << "):\n";
+  } else {
+    os << "shard " << shard.label() << " of the grid:\n";
+  }
+  print_cells(os, run);
 }
 
 }  // namespace ucr::bench

@@ -20,16 +20,15 @@ int main(int argc, char** argv) {
   const auto ks = ucr::paper_k_sweep(cfg.k_max);
 
   std::cout << "=== Table 1: ratio steps/nodes as a function of k "
-            << "(mean of " << cfg.runs << " runs, seed " << cfg.seed
-            << ") ===\n\n";
+            << "(mean of " << cfg.effective_runs() << " runs, seed "
+            << cfg.effective_seed() << ") ===\n\n";
 
   auto spec = cfg.spec().with_ks(ks);
   for (const auto& factory : protocols) spec.with_factory(factory);
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
 

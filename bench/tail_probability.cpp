@@ -51,9 +51,8 @@ int main(int argc, char** argv) {
           ucr::ExpBackonParams{ebobo_delta}, "ebobo"));
   const auto run = ucr::bench::run_spec(cfg, spec);
 
-  if (!cfg.shard.is_whole()) {
-    std::cout << "shard " << cfg.shard.label() << " of the grid:\n";
-    ucr::bench::print_cells(std::cout, run);
+  if (!cfg.pivot_render()) {
+    ucr::bench::print_generic(std::cout, cfg, run);
     return 0;
   }
 

@@ -1,0 +1,11 @@
+// Small shared string helpers for the textual front ends.
+#pragma once
+
+#include <string>
+
+namespace ucr {
+
+/// Copy of `text` with ASCII whitespace removed from both ends.
+std::string trim(const std::string& text);
+
+}  // namespace ucr

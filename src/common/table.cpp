@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -59,6 +60,13 @@ std::string format_double(double v, int decimals) {
   os.precision(decimals);
   os << v;
   return os.str();
+}
+
+std::string format_double_shortest(double v) {
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  UCR_CHECK(result.ec == std::errc(), "to_chars cannot fail on a double");
+  return std::string(buffer, result.ptr);
 }
 
 std::string format_count(double v) {

@@ -39,6 +39,13 @@ class Table {
 /// Fixed-point formatting helper: `format_double(3.14159, 2) == "3.14"`.
 std::string format_double(double v, int decimals);
 
+/// Shortest decimal string that parses back (strtod) to exactly `v` —
+/// std::to_chars shortest round-trip. The number format of spec files
+/// (exp/spec_io.hpp), where parse(to_text(s)) must recover every
+/// parameter bit for bit; fixed-decimals formatting would truncate, e.g.,
+/// a Poisson rate of 1e-7 to "0.000000".
+std::string format_double_shortest(double v);
+
 /// Engineering formatting for slot counts: integers below 10^15, otherwise
 /// scientific with three significant digits.
 std::string format_count(double v);

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/check.hpp"
+#include "core/dynamic_one_fail.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "protocols/exp_backoff.hpp"
@@ -44,6 +45,12 @@ std::vector<ProtocolFactory> all_protocols() {
   for (auto& p : extra_protocols()) {
     protocols.push_back(std::move(p));
   }
+  return protocols;
+}
+
+std::vector<ProtocolFactory> default_catalogue() {
+  std::vector<ProtocolFactory> protocols = all_protocols();
+  protocols.push_back(make_dynamic_one_fail_factory());
   return protocols;
 }
 
@@ -97,18 +104,27 @@ const ProtocolFactory& find_protocol(
   if (found != nullptr) return *found;
   UCR_REQUIRE(!catalogue.empty(),
               "unknown protocol '" + name + "' (the catalogue is empty)");
+  std::vector<std::string> names;
+  names.reserve(catalogue.size());
+  for (const ProtocolFactory& p : catalogue) names.push_back(p.name);
+  throw ContractViolation("unknown protocol '" + name + "' — did you mean '" +
+                          closest_name(names, name) + "'?");
+}
+
+std::string closest_name(const std::vector<std::string>& candidates,
+                         const std::string& name) {
+  if (candidates.empty()) return {};
   const std::string folded = lowercase(name);
-  const ProtocolFactory* closest = &catalogue.front();
+  const std::string* closest = &candidates.front();
   std::size_t best = static_cast<std::size_t>(-1);
-  for (const ProtocolFactory& p : catalogue) {
-    const std::size_t distance = edit_distance(folded, lowercase(p.name));
+  for (const std::string& candidate : candidates) {
+    const std::size_t distance = edit_distance(folded, lowercase(candidate));
     if (distance < best) {
       best = distance;
-      closest = &p;
+      closest = &candidate;
     }
   }
-  throw ContractViolation("unknown protocol '" + name + "' — did you mean '" +
-                          closest->name + "'?");
+  return *closest;
 }
 
 }  // namespace ucr

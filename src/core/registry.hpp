@@ -21,6 +21,13 @@ std::vector<ProtocolFactory> extra_protocols();
 /// paper_protocols() followed by extra_protocols().
 std::vector<ProtocolFactory> all_protocols();
 
+/// The live catalogue every name-resolving front end shares:
+/// all_protocols() plus this repository's Dynamic One-Fail variant.
+/// ucr_cli, the bench harnesses' spec-file override (UCR_SPEC) and the
+/// specs/ round-trip tests all resolve protocol names against this, so a
+/// spec file means the same sweep everywhere.
+std::vector<ProtocolFactory> default_catalogue();
+
 /// Looks `name` up in a catalogue: first exact match (first wins — the
 /// registry never carries duplicate names, but a user-assembled catalogue
 /// might), then a case-insensitive match, accepted only when unique.
@@ -33,5 +40,13 @@ const ProtocolFactory* try_find_protocol(
 /// replacement for the silent last-match-wins linear scan ucr_cli used.
 const ProtocolFactory& find_protocol(
     const std::vector<ProtocolFactory>& catalogue, const std::string& name);
+
+/// The generic engine behind find_protocol's hint: the candidate closest
+/// to `name` in case-folded edit distance (first wins on ties). Reused by
+/// any keyword lookup that wants the same did-you-mean errors — the spec
+/// file parser (exp/spec_io.hpp) runs unknown keys, engine modes and
+/// output formats through it. Empty candidates yield "".
+std::string closest_name(const std::vector<std::string>& candidates,
+                         const std::string& name);
 
 }  // namespace ucr

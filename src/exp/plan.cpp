@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "core/registry.hpp"
+#include "exp/spec_io.hpp"
 
 namespace ucr::exp {
 
@@ -125,6 +126,7 @@ ExperimentPlan compile(const ExperimentSpec& spec,
   plan.seed = spec.seed;
   plan.engine = spec.engine;
   plan.shard = spec.shard;
+  plan.spec_hash = exp::spec_hash(spec);
   plan.points.reserve(end - begin);
   plan.cells.reserve(end - begin);
 

@@ -51,6 +51,10 @@ struct ExperimentPlan {
   std::uint64_t seed = 0;
   EngineMode engine = EngineMode::kFair;
   ShardSpec shard;
+  /// Content hash of the canonical spec text (exp/spec_io.hpp),
+  /// shard-normalized: every shard of one sweep carries the same value.
+  /// The streaming sinks stamp it on each emitted row as provenance.
+  std::string spec_hash;
 };
 
 /// Compiles and validates a spec against a protocol catalogue (names in

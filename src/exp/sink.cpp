@@ -7,6 +7,7 @@
 namespace ucr::exp {
 
 void CsvStreamSink::begin(const ExperimentPlan& plan) {
+  spec_hash_ = plan.spec_hash;
   if (plan.shard.index == 0) {
     write_aggregate_header(*os_);
   }
@@ -14,7 +15,9 @@ void CsvStreamSink::begin(const ExperimentPlan& plan) {
 
 void CsvStreamSink::emit(const CellInfo& cell, const AggregateResult& result) {
   (void)cell;
-  write_aggregate_row(*os_, AggregateRow::from(result));
+  AggregateRow row = AggregateRow::from(result);
+  row.spec_hash = spec_hash_;
+  write_aggregate_row(*os_, row);
   os_->flush();
 }
 
@@ -52,9 +55,14 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+void JsonlSink::begin(const ExperimentPlan& plan) {
+  spec_hash_ = plan.spec_hash;
+}
+
 void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
   std::ostream& os = *os_;
   os << "{\"cell\":" << cell.index                                   //
+     << ",\"spec_hash\":\"" << spec_hash_ << "\""                    //
      << ",\"protocol\":\"" << json_escape(result.protocol) << "\""   //
      << ",\"k\":" << result.k                                        //
      << ",\"arrival\":\"" << json_escape(cell.arrival.label()) << "\""
@@ -70,6 +78,9 @@ void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
      << ",\"p95_makespan\":" << format_double(result.makespan.p95, 6)
      << ",\"max_makespan\":" << format_double(result.makespan.max, 6)
      << ",\"mean_ratio\":" << format_double(result.ratio.mean, 6)    //
+     << ",\"latency_p50\":" << format_double(result.latency_p50, 6)
+     << ",\"latency_p95\":" << format_double(result.latency_p95, 6)
+     << ",\"latency_p99\":" << format_double(result.latency_p99, 6)  //
      << "}\n";
   os.flush();
 }

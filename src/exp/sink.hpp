@@ -35,7 +35,9 @@ class ResultSink {
 
 /// Streaming CSV in the sim/resultio aggregate format (re-readable with
 /// read_aggregate_csv): header exactly once, on shard 0 only, then one row
-/// per cell, flushed as emitted — constant memory for any grid size.
+/// per cell, flushed as emitted — constant memory for any grid size. Rows
+/// carry the plan's spec_hash, which is shard-invariant, so sharded
+/// archives are self-describing and still concatenate byte-identically.
 class CsvStreamSink final : public ResultSink {
  public:
   /// Does not take ownership; the stream must outlive the sink.
@@ -46,21 +48,25 @@ class CsvStreamSink final : public ResultSink {
 
  private:
   std::ostream* os_;
+  std::string spec_hash_;
 };
 
 /// One JSON object per line per cell, carrying the cell identity (grid
-/// index, arrival label, engine) alongside the aggregate — the format for
-/// heterogeneous grids, where a flat CSV row cannot name the workload.
-/// No header, so shard concatenation is trivially byte-identical.
+/// index, arrival label, engine) and the plan's spec_hash alongside the
+/// aggregate — the format for heterogeneous grids, where a flat CSV row
+/// cannot name the workload. No header, so shard concatenation is
+/// trivially byte-identical.
 class JsonlSink final : public ResultSink {
  public:
   /// Does not take ownership; the stream must outlive the sink.
   explicit JsonlSink(std::ostream& os) : os_(&os) {}
 
+  void begin(const ExperimentPlan& plan) override;
   void emit(const CellInfo& cell, const AggregateResult& result) override;
 
  private:
   std::ostream* os_;
+  std::string spec_hash_;
 };
 
 /// Collects cells in memory, for tests and table-rendering drivers.

@@ -1,12 +1,28 @@
 #include "exp/spec.hpp"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/registry.hpp"
 
 namespace ucr::exp {
+
+namespace {
+
+double parse_double_strict(const std::string& text,
+                           const std::string& source) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  UCR_REQUIRE(end != text.c_str() && *end == '\0' && !text.empty(),
+              "malformed number '" + text + "' in " + source);
+  return value;
+}
+
+}  // namespace
 
 ArrivalSpec ArrivalSpec::batch() { return ArrivalSpec{}; }
 
@@ -37,6 +53,41 @@ std::string ArrivalSpec::label() const {
   }
   UCR_CHECK(false, "unreachable arrival kind");
   return {};
+}
+
+ArrivalSpec ArrivalSpec::parse(const std::string& text) {
+  const std::string value = trim(text);
+  if (value == "batch") return batch();
+
+  // "<kind>(<args>)" — split the head off the parenthesized argument list.
+  const std::size_t open = value.find('(');
+  const std::string head = trim(value.substr(0, open));
+  if (head == "poisson" || head == "burst") {
+    UCR_REQUIRE(open != std::string::npos && value.back() == ')',
+                "malformed arrival '" + value + "' (expected " + head +
+                    (head == "poisson" ? "(<lambda>))" : "(<bursts>,<gap>))"));
+    const std::string args =
+        value.substr(open + 1, value.size() - open - 2);
+    ArrivalSpec spec;
+    if (head == "poisson") {
+      spec = poisson(
+          parse_double_strict(trim(args), "arrival '" + value + "'"));
+    } else {
+      const std::size_t comma = args.find(',');
+      UCR_REQUIRE(comma != std::string::npos,
+                  "malformed arrival '" + value +
+                      "' (expected burst(<bursts>,<gap>))");
+      const std::string source = "arrival '" + value + "'";
+      spec = burst(parse_u64_strict(trim(args.substr(0, comma)), source),
+                   parse_u64_strict(trim(args.substr(comma + 1)), source));
+    }
+    spec.validate();
+    return spec;
+  }
+  throw ContractViolation(
+      "unknown arrival kind '" + head + "' — did you mean '" +
+      closest_name({"batch", "poisson", "burst"}, head) +
+      "'? (batch, poisson(<lambda>) or burst(<bursts>,<gap>))");
 }
 
 ArrivalPattern ArrivalSpec::materialize(std::uint64_t k, std::uint64_t seed,
@@ -143,6 +194,27 @@ ExperimentSpec& ExperimentSpec::with_paper_ks(std::uint64_t max) {
 ExperimentSpec& ExperimentSpec::with_arrival(ArrivalSpec arrival) {
   arrivals.push_back(arrival);
   return *this;
+}
+
+std::vector<std::string> ExperimentSpec::all_protocol_names() const {
+  std::vector<std::string> names = protocol_names;
+  names.reserve(names.size() + protocols.size());
+  for (const ProtocolFactory& factory : protocols) {
+    names.push_back(factory.name);
+  }
+  return names;
+}
+
+bool ExperimentSpec::operator==(const ExperimentSpec& other) const {
+  if (protocol_names != other.protocol_names) return false;
+  if (protocols.size() != other.protocols.size()) return false;
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    if (protocols[i].name != other.protocols[i].name) return false;
+  }
+  return ks == other.ks && k_max == other.k_max &&
+         arrivals == other.arrivals && runs == other.runs &&
+         seed == other.seed && engine == other.engine &&
+         engine_options == other.engine_options && shard == other.shard;
 }
 
 }  // namespace ucr::exp

@@ -48,6 +48,14 @@ struct ArrivalSpec {
   /// Human/JSONL label: "batch", "poisson(0.1)", "burst(4,64)".
   std::string label() const;
 
+  /// Parses the label syntax back: "batch", "poisson(<lambda>)",
+  /// "burst(<bursts>,<gap>)" (whitespace around tokens tolerated).
+  /// Validates the parameters; unknown kinds get a did-you-mean
+  /// ContractViolation. The inverse of the spec-file serialization
+  /// (exp/spec_io.hpp), which prints lambda with shortest-round-trip
+  /// precision so parse(print(s)) == s exactly.
+  static ArrivalSpec parse(const std::string& text);
+
   /// Materializes the concrete pattern for one run of a cell. `stream_id`
   /// is the arrival-substream index assigned by compile() (distinct per
   /// (cell, run), disjoint from the engine substreams); deterministic
@@ -133,6 +141,19 @@ struct ExperimentSpec {
   ExperimentSpec& with_ks(std::vector<std::uint64_t> grid);
   ExperimentSpec& with_paper_ks(std::uint64_t max);
   ExperimentSpec& with_arrival(ArrivalSpec arrival);
+
+  /// All protocol selectors in compile() resolution order: names first,
+  /// then the names of the explicit factories. What the spec-file
+  /// serialization and spec_hash (exp/spec_io.hpp) emit as `protocols`.
+  std::vector<std::string> all_protocol_names() const;
+
+  /// Value equality — the spec-file round-trip contract
+  /// (`parse_spec(to_text(s)) == s`, exp/spec_io.hpp) is stated in terms
+  /// of it. Explicit factories are std::functions and compare by *name*
+  /// (a factory is textually representable only through its catalogue
+  /// name); everything else is member-wise, including EngineOptions
+  /// (whose observer hook compares by pointer).
+  bool operator==(const ExperimentSpec& other) const;
 };
 
 }  // namespace ucr::exp

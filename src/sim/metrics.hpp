@@ -84,6 +84,11 @@ struct EngineOptions {
 
   /// Resolves the cap for a given k.
   std::uint64_t resolved_cap(std::uint64_t k) const;
+
+  /// Member-wise value equality (the observer hook compares by pointer) —
+  /// what makes ExperimentSpec a comparable value type for the spec-file
+  /// round-trip contract (exp/spec_io.hpp).
+  bool operator==(const EngineOptions&) const = default;
 };
 
 }  // namespace ucr

@@ -13,9 +13,24 @@ namespace ucr {
 namespace {
 
 constexpr const char* kHeader[] = {
-    "protocol", "k",   "runs",   "incomplete_runs", "mean_makespan",
-    "stddev",   "min", "p25",    "median",          "p75",
-    "p95",      "max", "mean_ratio"};
+    "protocol",
+    "k",
+    "runs",
+    "incomplete_runs",
+    "mean_makespan",
+    "stddev",
+    "min",
+    "p25",
+    "median",
+    "p75",
+    "p95",
+    "max",
+    "mean_ratio",
+    "latency_p50",
+    "latency_p95",
+    "latency_p99",
+    "spec_hash",
+};
 constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
 
 double parse_double(const std::string& cell) {
@@ -51,6 +66,9 @@ AggregateRow AggregateRow::from(const AggregateResult& result) {
   row.p95_makespan = result.makespan.p95;
   row.max_makespan = result.makespan.max;
   row.mean_ratio = result.ratio.mean;
+  row.latency_p50 = result.latency_p50;
+  row.latency_p95 = result.latency_p95;
+  row.latency_p99 = result.latency_p99;
   return row;
 }
 
@@ -72,7 +90,10 @@ void write_aggregate_row(std::ostream& os, const AggregateRow& r) {
                     format_double(r.p75_makespan, 6),
                     format_double(r.p95_makespan, 6),
                     format_double(r.max_makespan, 6),
-                    format_double(r.mean_ratio, 6)});
+                    format_double(r.mean_ratio, 6),
+                    format_double(r.latency_p50, 6),
+                    format_double(r.latency_p95, 6),
+                    format_double(r.latency_p99, 6), r.spec_hash});
 }
 
 void write_aggregate_csv(std::ostream& os,
@@ -142,6 +163,10 @@ std::vector<AggregateRow> read_aggregate_csv(std::istream& is) {
     row.p95_makespan = parse_double(cells[10]);
     row.max_makespan = parse_double(cells[11]);
     row.mean_ratio = parse_double(cells[12]);
+    row.latency_p50 = parse_double(cells[13]);
+    row.latency_p95 = parse_double(cells[14]);
+    row.latency_p99 = parse_double(cells[15]);
+    row.spec_hash = cells[16];
     rows.push_back(std::move(row));
   }
   return rows;

@@ -13,7 +13,8 @@ namespace ucr {
 
 /// The persisted projection of an AggregateResult (one CSV row). Carries
 /// the full makespan quartile/percentile spread the Summary computes —
-/// min, p25, median, p75, p95, max — so archived sweeps can be re-plotted
+/// min, p25, median, p75, p95, max — plus the per-message latency
+/// percentiles of dynamic cells, so archived sweeps can be re-plotted
 /// with distribution envelopes without re-running anything.
 struct AggregateRow {
   std::string protocol;
@@ -29,8 +30,20 @@ struct AggregateRow {
   double p95_makespan = 0.0;
   double max_makespan = 0.0;
   double mean_ratio = 0.0;
+  /// Per-message latency percentiles (pooled over runs); 0 unless the
+  /// cell ran with EngineOptions::record_latencies on a per-node engine.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  /// Provenance: content hash of the canonical spec text
+  /// (ucr::exp::spec_hash) when the row was emitted by the exp pipeline's
+  /// streaming sinks; empty for rows assembled by hand. Shard-invariant,
+  /// so concatenated shard archives stay byte-identical AND
+  /// self-describing.
+  std::string spec_hash;
 
-  /// Projects an in-memory aggregate onto its persisted row.
+  /// Projects an in-memory aggregate onto its persisted row (spec_hash is
+  /// the emitting sink's to fill — the aggregate does not know its spec).
   static AggregateRow from(const AggregateResult& result);
 
   bool operator==(const AggregateRow&) const = default;

@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace ucr {
@@ -12,15 +14,28 @@ AggregateResult aggregate_runs(std::string name, std::uint64_t k,
   result.runs = runs.size();
   std::vector<double> makespans;
   std::vector<double> ratios;
+  std::vector<double> latencies;
   makespans.reserve(runs.size());
   ratios.reserve(runs.size());
   for (const RunMetrics& m : runs) {
     if (!m.completed) ++result.incomplete_runs;
     makespans.push_back(static_cast<double>(m.slots));
     ratios.push_back(m.ratio());
+    for (const std::uint64_t latency : m.latencies) {
+      latencies.push_back(static_cast<double>(latency));
+    }
   }
   result.makespan = summarize(makespans);
   result.ratio = summarize(ratios);
+  if (!latencies.empty()) {
+    // Pooled across runs (run order): the per-message latency envelope of
+    // the cell, persisted per row so dynamic-arrival archives carry their
+    // tail behaviour without the O(k * runs) details.
+    std::sort(latencies.begin(), latencies.end());
+    result.latency_p50 = quantile_sorted(latencies, 0.50);
+    result.latency_p95 = quantile_sorted(latencies, 0.95);
+    result.latency_p99 = quantile_sorted(latencies, 0.99);
+  }
   result.details = std::move(runs);
   return result;
 }

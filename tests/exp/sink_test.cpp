@@ -9,6 +9,7 @@
 
 #include "core/registry.hpp"
 #include "exp/run.hpp"
+#include "exp/spec_io.hpp"
 
 namespace ucr::exp {
 namespace {
@@ -127,11 +128,53 @@ TEST(JsonlSink, OneObjectPerCellWithIdentity) {
     EXPECT_EQ(l.back(), '}');
     EXPECT_NE(l.find("\"protocol\":\"One-Fail Adaptive\""),
               std::string::npos);
-    // The full percentile spread rides along in every row.
-    for (const char* key : {"\"p25_makespan\":", "\"median_makespan\":",
-                            "\"p75_makespan\":", "\"p95_makespan\":"}) {
+    // The full percentile spread and the latency columns ride along in
+    // every row, as does the spec provenance hash.
+    for (const char* key :
+         {"\"p25_makespan\":", "\"median_makespan\":", "\"p75_makespan\":",
+          "\"p95_makespan\":", "\"latency_p50\":", "\"latency_p95\":",
+          "\"latency_p99\":"}) {
       EXPECT_NE(l.find(key), std::string::npos) << key;
     }
+    EXPECT_NE(l.find("\"spec_hash\":\"" + spec_hash(spec) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(Sinks, RowsCarryTheShardInvariantSpecHash) {
+  // CSV rows stamp the plan's spec_hash; sharded and unsharded runs of
+  // one sweep stamp the same value (the hash normalizes the shard out),
+  // which is what keeps concatenated shard archives both self-describing
+  // and byte-identical to the unsharded file (shard_test pins the bytes).
+  ExperimentSpec spec = small_spec();
+  const std::string expected = spec_hash(spec);
+
+  const auto rows_of = [](const ExperimentSpec& s) {
+    std::ostringstream out;
+    CsvStreamSink sink(out);
+    run(compile(s), {&sink}, {1});
+    return out.str();
+  };
+
+  std::istringstream whole(rows_of(spec));
+  for (const AggregateRow& row : read_aggregate_csv(whole)) {
+    EXPECT_EQ(row.spec_hash, expected);
+  }
+
+  spec.shard.count = 2;
+  spec.shard.index = 1;  // no header on shard 1: prepend one to re-read
+  std::ostringstream shard1;
+  {
+    CsvStreamSink sink(shard1);
+    run(compile(spec), {&sink}, {1});
+  }
+  std::ostringstream with_header;
+  write_aggregate_header(with_header);
+  std::istringstream sharded(with_header.str() + shard1.str());
+  const auto rows = read_aggregate_csv(sharded);
+  ASSERT_FALSE(rows.empty());
+  for (const AggregateRow& row : rows) {
+    EXPECT_EQ(row.spec_hash, expected);
   }
 }
 

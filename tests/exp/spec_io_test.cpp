@@ -1,0 +1,295 @@
+// The textual spec contract: exact round trip (parse_spec(to_text(s)) ==
+// s) for hand-built, randomized and every shipped specs/*.spec
+// description; loud, line-numbered, did-you-mean errors on malformed
+// input; and the shard/threads/format-invariant spec_hash the sinks stamp
+// on archived rows.
+#include "exp/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "exp/plan.hpp"
+
+namespace ucr::exp {
+namespace {
+
+std::string what_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(SpecIo, DefaultSpecRoundTripsThroughCanonicalText) {
+  const SpecFile file;
+  const SpecFile back = parse_spec(to_text(file));
+  EXPECT_EQ(back, file);
+  // The canonical text is a fixed point of parse -> to_text.
+  EXPECT_EQ(to_text(back), to_text(file));
+}
+
+TEST(SpecIo, FullyPopulatedSpecRoundTripsExactly) {
+  SpecFile file;
+  file.spec.with_protocol("One-Fail Adaptive")
+      .with_protocol("Exp Back-on/Back-off")
+      .with_ks({10, 500, 123456})
+      .with_arrival(ArrivalSpec::batch())
+      .with_arrival(ArrivalSpec::poisson(0.1))
+      .with_arrival(ArrivalSpec::burst(7, 129));
+  file.spec.runs = 42;
+  file.spec.seed = 99;
+  file.spec.engine = EngineMode::kNodeBatched;
+  file.spec.engine_options.max_slots = 12345;
+  file.spec.engine_options.record_deliveries = true;
+  file.spec.engine_options.record_latencies = true;
+  file.spec.engine_options.collision_detection = true;
+  file.spec.shard = ShardSpec::parse("3/7");
+  file.threads = 12;
+  file.format = OutputFormat::kJsonl;
+
+  const SpecFile back = parse_spec(to_text(file));
+  EXPECT_EQ(back, file);
+}
+
+TEST(SpecIo, AwkwardPoissonRatesRoundTripBitForBit) {
+  // Rates the 6-decimal display label would destroy: the serialization
+  // uses shortest-round-trip notation instead.
+  for (const double lambda : {1e-7, 0.1, 1.0 / 3.0, 0.2500000000000001}) {
+    SpecFile file;
+    file.spec.with_protocol("x").with_ks({10}).with_arrival(
+        ArrivalSpec::poisson(lambda));
+    const SpecFile back = parse_spec(to_text(file));
+    ASSERT_EQ(back.spec.arrivals.size(), 1u);
+    EXPECT_EQ(back.spec.arrivals[0].lambda, lambda);
+    EXPECT_EQ(back, file);
+  }
+}
+
+TEST(SpecIo, RandomizedSpecsRoundTripExactly) {
+  // Deterministic fuzz over the whole expressible space.
+  Xoshiro256 rng(20260728);
+  const auto u64 = [&rng](std::uint64_t bound) {
+    return rng.next_u64() % bound;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    SpecFile file;
+    for (std::uint64_t i = 0, n = u64(4); i < n; ++i) {
+      file.spec.with_protocol("protocol " + std::to_string(u64(100)));
+    }
+    if (u64(2) == 0) {
+      for (std::uint64_t i = 0, n = 1 + u64(5); i < n; ++i) {
+        file.spec.ks.push_back(1 + u64(1000000));
+      }
+    } else {
+      file.spec.k_max = 10 + u64(10000000);
+    }
+    for (std::uint64_t i = 0, n = u64(4); i < n; ++i) {
+      switch (u64(3)) {
+        case 0:
+          file.spec.with_arrival(ArrivalSpec::batch());
+          break;
+        case 1:
+          file.spec.with_arrival(ArrivalSpec::poisson(rng.next_double()));
+          break;
+        default:
+          file.spec.with_arrival(
+              ArrivalSpec::burst(1 + u64(16), u64(1000)));
+      }
+    }
+    file.spec.runs = 1 + u64(100);
+    file.spec.seed = rng.next_u64();
+    file.spec.engine = static_cast<EngineMode>(u64(4));
+    file.spec.engine_options.max_slots = u64(2) ? u64(1000000) : 0;
+    file.spec.engine_options.record_deliveries = u64(2) != 0;
+    file.spec.engine_options.record_latencies = u64(2) != 0;
+    file.spec.engine_options.collision_detection = u64(2) != 0;
+    file.spec.shard.count = 1 + u64(8);
+    file.spec.shard.index = u64(file.spec.shard.count);
+    file.threads = static_cast<unsigned>(u64(17));
+    file.format = static_cast<OutputFormat>(u64(3));
+
+    const std::string text = to_text(file);
+    const SpecFile back = parse_spec(text);
+    ASSERT_EQ(back, file) << "trial " << trial << "\n" << text;
+    EXPECT_EQ(to_text(back), text) << "trial " << trial;
+  }
+}
+
+TEST(SpecIo, AcceptsCommentsBlankLinesAndLooseWhitespace) {
+  const SpecFile file = parse_spec(
+      "# a whole-line comment\n"
+      "\n"
+      "  spec_version=1   # trailing comment\n"
+      "protocols   =  One-Fail Adaptive ,   Exp Back-on/Back-off\n"
+      "\tks = 10 ,20\n"
+      "arrival =  poisson( 0.25 )\n"
+      "runs=3");
+  ASSERT_EQ(file.spec.protocol_names.size(), 2u);
+  EXPECT_EQ(file.spec.protocol_names[0], "One-Fail Adaptive");
+  EXPECT_EQ(file.spec.protocol_names[1], "Exp Back-on/Back-off");
+  EXPECT_EQ(file.spec.ks, (std::vector<std::uint64_t>{10, 20}));
+  ASSERT_EQ(file.spec.arrivals.size(), 1u);
+  EXPECT_EQ(file.spec.arrivals[0].lambda, 0.25);
+  EXPECT_EQ(file.spec.runs, 3u);
+}
+
+TEST(SpecIo, UnknownKeyGetsDidYouMeanWithLineNumber) {
+  const std::string what = what_of(
+      [] { (void)parse_spec("spec_version = 1\nkmaks = 100\n"); });
+  EXPECT_NE(what.find("spec line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("did you mean 'kmax'"), std::string::npos) << what;
+}
+
+TEST(SpecIo, MisspelledEnumValuesGetDidYouMean) {
+  const std::string engine = what_of(
+      [] { (void)parse_spec("spec_version = 1\nengine = node_bathced\n"); });
+  EXPECT_NE(engine.find("did you mean 'node_batched'"), std::string::npos)
+      << engine;
+  const std::string format = what_of(
+      [] { (void)parse_spec("spec_version = 1\nformat = jsnol\n"); });
+  EXPECT_NE(format.find("did you mean 'jsonl'"), std::string::npos) << format;
+  const std::string arrival = what_of(
+      [] { (void)parse_spec("spec_version = 1\narrival = possion(0.1)\n"); });
+  EXPECT_NE(arrival.find("did you mean 'poisson'"), std::string::npos)
+      << arrival;
+  EXPECT_NE(arrival.find("spec line 2"), std::string::npos) << arrival;
+}
+
+TEST(SpecIo, RejectsMalformedInput) {
+  // Missing / unsupported version.
+  EXPECT_THROW((void)parse_spec(""), ContractViolation);
+  EXPECT_THROW((void)parse_spec("runs = 3\n"), ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 2\n"), ContractViolation);
+  // Duplicate scalar key (arrival stays repeatable).
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nruns = 1\nruns = 2\n"),
+               ContractViolation);
+  EXPECT_NO_THROW((void)parse_spec(
+      "spec_version = 1\narrival = batch\narrival = burst(2,4)\n"));
+  // ks and kmax are mutually exclusive.
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nks = 10\nkmax = 100\n"),
+               ContractViolation);
+  // Structurally broken lines.
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nno equals sign\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\n= 3\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nruns =\n"),
+               ContractViolation);
+  // Malformed values, with the line named.
+  const std::string what = what_of(
+      [] { (void)parse_spec("spec_version = 1\n\nruns = ten\n"); });
+  EXPECT_NE(what.find("spec line 3"), std::string::npos) << what;
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nks = 10,,20\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nshard = 4/4\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\narrival = poisson(0)\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\narrival = burst(0,5)\n"),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)parse_spec("spec_version = 1\nrecord_latencies = maybe\n"),
+      ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nthreads = -2\n"),
+               ContractViolation);
+}
+
+TEST(SpecIo, ThreadsZeroMeansAllHardwareThreads) {
+  EXPECT_EQ(parse_spec("spec_version = 1\nthreads = 0\n").threads, 0u);
+  EXPECT_EQ(parse_spec("spec_version = 1\nthreads = 5\n").threads, 5u);
+}
+
+TEST(SpecHash, IsStableSixteenHexDigits) {
+  const ExperimentSpec spec;
+  const std::string hash = spec_hash(spec);
+  ASSERT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(spec_hash(spec), hash);  // pure function of the spec
+}
+
+TEST(SpecHash, NormalizesShardAndIgnoresExecutionKnobs) {
+  ExperimentSpec spec;
+  spec.with_protocol("One-Fail Adaptive").with_ks({10, 20, 30});
+  const std::string whole = spec_hash(spec);
+  for (std::uint64_t shard = 0; shard < 3; ++shard) {
+    spec.shard.index = shard;
+    spec.shard.count = 3;
+    EXPECT_EQ(spec_hash(spec), whole) << "shard " << shard;
+  }
+}
+
+TEST(SpecHash, ChangesWhenTheExperimentChanges) {
+  ExperimentSpec spec;
+  spec.with_protocol("One-Fail Adaptive").with_ks({10});
+  const std::string base = spec_hash(spec);
+  ExperimentSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(spec_hash(other), base);
+  other = spec;
+  other.with_arrival(ArrivalSpec::poisson(0.5));
+  EXPECT_NE(spec_hash(other), base);
+  other = spec;
+  other.engine = EngineMode::kBatched;
+  EXPECT_NE(spec_hash(other), base);
+}
+
+TEST(SpecHash, FactoriesHashLikeTheirCatalogueNames) {
+  // A bench spec (explicit factories) and the spec file naming the same
+  // protocols describe the same sweep — their archives must match.
+  ExperimentSpec by_factory;
+  for (const auto& p : paper_protocols()) by_factory.with_factory(p);
+  by_factory.with_ks({10});
+
+  ExperimentSpec by_name;
+  for (const auto& p : paper_protocols()) by_name.with_protocol(p.name);
+  by_name.with_ks({10});
+
+  EXPECT_EQ(spec_hash(by_factory), spec_hash(by_name));
+}
+
+TEST(ShippedSpecs, EveryCatalogueFileParsesCompilesAndRoundTrips) {
+  const std::filesystem::path dir =
+      std::filesystem::path(UCR_REPO_ROOT) / "specs";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  const auto catalogue = default_catalogue();
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".spec") continue;
+    ++seen;
+    SCOPED_TRACE(entry.path().filename().string());
+
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    // Parses...
+    const SpecFile file = parse_spec(text.str());
+    // ...compiles against the live catalogue (all names resolve, engine
+    // views exist, the grid is non-empty)...
+    const ExperimentPlan plan = compile(file.spec, catalogue);
+    EXPECT_GT(plan.total_cells, 0u);
+    EXPECT_EQ(plan.spec_hash, spec_hash(file.spec));
+    // ...and round-trips exactly through the canonical text.
+    const SpecFile back = parse_spec(to_text(file));
+    EXPECT_EQ(back, file);
+    EXPECT_EQ(to_text(back), to_text(file));
+  }
+  // The documented catalogue ships (at least) these six sweeps.
+  EXPECT_GE(seen, 6u);
+}
+
+}  // namespace
+}  // namespace ucr::exp

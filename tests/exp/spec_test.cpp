@@ -49,6 +49,64 @@ TEST(ArrivalSpec, PoissonIsDeterministicPerStream) {
   EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
 }
 
+TEST(ArrivalSpec, ParsesTheLabelSyntax) {
+  EXPECT_EQ(ArrivalSpec::parse("batch"), ArrivalSpec::batch());
+  EXPECT_EQ(ArrivalSpec::parse("poisson(0.25)"), ArrivalSpec::poisson(0.25));
+  EXPECT_EQ(ArrivalSpec::parse("burst(4,64)"), ArrivalSpec::burst(4, 64));
+  EXPECT_EQ(ArrivalSpec::parse(" poisson( 0.5 ) "),
+            ArrivalSpec::poisson(0.5));
+  EXPECT_EQ(ArrivalSpec::parse("burst( 2 , 8 )"), ArrivalSpec::burst(2, 8));
+}
+
+TEST(ArrivalSpec, ParseRejectsMalformedText) {
+  EXPECT_THROW(ArrivalSpec::parse(""), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("poisson"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("poisson()"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("poisson(0)"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("poisson(x)"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("burst(4)"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("burst(0,8)"), ContractViolation);
+  EXPECT_THROW(ArrivalSpec::parse("burst(4,64"), ContractViolation);
+  try {
+    ArrivalSpec::parse("possion(0.1)");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'poisson'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExperimentSpec, EqualityComparesValuesAndFactoriesByName) {
+  ExperimentSpec a;
+  a.with_protocol("One-Fail Adaptive").with_ks({10, 20});
+  a.with_arrival(ArrivalSpec::poisson(0.1));
+  ExperimentSpec b = a;
+  EXPECT_EQ(a, b);
+
+  b.seed = a.seed + 1;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.arrivals[0].lambda = 0.2;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.engine_options.record_latencies = true;
+  EXPECT_FALSE(a == b);
+
+  // Factories compare by name: same name, different callable => equal.
+  ExperimentSpec f1;
+  ExperimentSpec f2;
+  f1.with_factory(paper_protocols()[2]).with_ks({10});
+  f2.with_factory(paper_protocols()[2]).with_ks({10});
+  EXPECT_EQ(f1, f2);
+  f2.protocols[0].name = "renamed";
+  EXPECT_FALSE(f1 == f2);
+  // A name in protocol_names is not a factory of the same name.
+  ExperimentSpec by_name;
+  by_name.with_protocol(paper_protocols()[2].name).with_ks({10});
+  EXPECT_FALSE(f1 == by_name);
+}
+
 TEST(ArrivalSpec, RejectsBadParameters) {
   EXPECT_THROW(ArrivalSpec::poisson(0.0).validate(), ContractViolation);
   EXPECT_THROW(ArrivalSpec::poisson(-1.0).validate(), ContractViolation);

@@ -67,6 +67,10 @@ TEST(ResultIo, RoundTripPreservesRows) {
   rows[0].p95_makespan = 7539.125;
   rows[0].max_makespan = 7550;
   rows[0].mean_ratio = 7.4325;
+  rows[0].latency_p50 = 12.5;
+  rows[0].latency_p95 = 91.25;
+  rows[0].latency_p99 = 140.125;
+  rows[0].spec_hash = "2eed288eb0fae51d";
   rows[1].protocol = "Log-Fails Adaptive (2)";  // name with parentheses
   rows[1].k = 100;
   rows[1].runs = 5;
@@ -89,8 +93,13 @@ TEST(ResultIo, RoundTripPreservesRows) {
   EXPECT_NEAR(back[0].p75_makespan, rows[0].p75_makespan, 1e-5);
   EXPECT_NEAR(back[0].p95_makespan, rows[0].p95_makespan, 1e-5);
   EXPECT_NEAR(back[0].mean_ratio, rows[0].mean_ratio, 1e-5);
+  EXPECT_NEAR(back[0].latency_p50, rows[0].latency_p50, 1e-5);
+  EXPECT_NEAR(back[0].latency_p95, rows[0].latency_p95, 1e-5);
+  EXPECT_NEAR(back[0].latency_p99, rows[0].latency_p99, 1e-5);
+  EXPECT_EQ(back[0].spec_hash, rows[0].spec_hash);
   EXPECT_EQ(back[1].incomplete_runs, 1u);
   EXPECT_EQ(back[1].protocol, rows[1].protocol);
+  EXPECT_EQ(back[1].spec_hash, "");  // hand-built rows carry no provenance
 }
 
 TEST(ResultIo, FromAggregateResult) {
@@ -123,19 +132,27 @@ TEST(ResultIo, RejectsGarbage) {
 
   std::stringstream bad_cols(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
-      "p75,p95,max,mean_ratio\nX,1,2\n");
+      "p75,p95,max,mean_ratio,latency_p50,latency_p95,latency_p99,"
+      "spec_hash\nX,1,2\n");
   EXPECT_THROW(read_aggregate_csv(bad_cols), ContractViolation);
 
   std::stringstream bad_number(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
-      "p75,p95,max,mean_ratio\nX,abc,2,0,1,1,1,1,1,1,1,1,1\n");
+      "p75,p95,max,mean_ratio,latency_p50,latency_p95,latency_p99,"
+      "spec_hash\nX,abc,2,0,1,1,1,1,1,1,1,1,1,0,0,0,h\n");
   EXPECT_THROW(read_aggregate_csv(bad_number), ContractViolation);
 
-  // The pre-percentile 9-column format is rejected loudly, not misread.
-  std::stringstream old_format(
+  // Superseded formats are rejected loudly, not misread: the
+  // pre-percentile 9-column layout and the pre-latency/provenance
+  // 13-column layout.
+  std::stringstream nine_columns(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
       "mean_ratio\nX,1,2,0,1,1,1,1,1\n");
-  EXPECT_THROW(read_aggregate_csv(old_format), ContractViolation);
+  EXPECT_THROW(read_aggregate_csv(nine_columns), ContractViolation);
+  std::stringstream thirteen_columns(
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
+      "p75,p95,max,mean_ratio\nX,1,2,0,1,1,1,1,1,1,1,1,1\n");
+  EXPECT_THROW(read_aggregate_csv(thirteen_columns), ContractViolation);
 }
 
 TEST(ResultIo, SkipsBlankLines) {

@@ -96,6 +96,33 @@ TEST(RunNodeExperiment, WorksOnBatchedArrivals) {
   }
 }
 
+TEST(AggregateRuns, PoolsLatencyPercentilesAcrossRuns) {
+  // Two runs' latencies pool into one sample (1..20): linear-interpolated
+  // percentiles p50 = 10.5, p95 = 19.05, p99 = 19.81.
+  RunMetrics a;
+  RunMetrics b;
+  a.completed = b.completed = true;
+  a.k = b.k = 10;
+  a.slots = b.slots = 20;
+  for (std::uint64_t v = 1; v <= 10; ++v) a.latencies.push_back(v);
+  for (std::uint64_t v = 11; v <= 20; ++v) b.latencies.push_back(v);
+  const AggregateResult res = aggregate_runs("x", 10, {a, b});
+  EXPECT_DOUBLE_EQ(res.latency_p50, 10.5);
+  EXPECT_NEAR(res.latency_p95, 19.05, 1e-9);
+  EXPECT_NEAR(res.latency_p99, 19.81, 1e-9);
+}
+
+TEST(AggregateRuns, LatencyPercentilesStayZeroWithoutRecording) {
+  RunMetrics a;
+  a.completed = true;
+  a.k = 5;
+  a.slots = 9;
+  const AggregateResult res = aggregate_runs("x", 5, {a});
+  EXPECT_DOUBLE_EQ(res.latency_p50, 0.0);
+  EXPECT_DOUBLE_EQ(res.latency_p95, 0.0);
+  EXPECT_DOUBLE_EQ(res.latency_p99, 0.0);
+}
+
 TEST(RunNodeExperiment, RequiresNodeView) {
   ProtocolFactory fair_only;
   fair_only.name = "fair-only";

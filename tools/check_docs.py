@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Documentation gate for CI (.github/workflows/ci.yml, `docs` job).
 
-Two checks, both hard failures:
+Three checks, all hard failures:
 
-1. Relative markdown links in README.md, EXPERIMENTS.md and docs/*.md
-   must resolve to files inside the repository (no 404s within the
-   tree). External (http/https/mailto) links and pure #anchors are
-   skipped.
-2. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
+1. Relative markdown links in README.md, EXPERIMENTS.md, docs/*.md and
+   specs/README.md must resolve to files inside the repository (no 404s
+   within the tree). External (http/https/mailto) links and pure
+   #anchors are skipped.
+2. Every `specs/<name>.spec` path mentioned anywhere in those documents
+   (inline code included, not just markdown links) must exist — the
+   runbook is written around `ucr_cli --spec=...`, so a renamed or
+   deleted catalogue file must fail the docs job.
+3. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
    prints must appear as a `## <name>` section heading in
    docs/PROTOCOLS.md — the same contract the tier-1 drift test
    (tests/docs/protocols_doc_test.cpp) enforces, re-checked here from
@@ -25,10 +29,11 @@ import subprocess
 import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SPEC_REF_RE = re.compile(r"specs/[A-Za-z0-9._-]+\.spec")
 
 
 def iter_doc_files(root: pathlib.Path):
-    for name in ("README.md", "EXPERIMENTS.md"):
+    for name in ("README.md", "EXPERIMENTS.md", "specs/README.md"):
         path = root / name
         if path.is_file():
             yield path
@@ -49,6 +54,20 @@ def check_links(root: pathlib.Path) -> list[str]:
                 errors.append(
                     f"{doc.relative_to(root)}: broken relative link "
                     f"'{target}'"
+                )
+    return errors
+
+
+def check_spec_refs(root: pathlib.Path) -> list[str]:
+    """Every specs/*.spec path a document mentions must exist on disk."""
+    errors = []
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for ref in sorted(set(SPEC_REF_RE.findall(text))):
+            if not (root / ref).is_file():
+                errors.append(
+                    f"{doc.relative_to(root)}: references missing spec "
+                    f"file '{ref}'"
                 )
     return errors
 
@@ -100,7 +119,7 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    errors = check_links(root)
+    errors = check_links(root) + check_spec_refs(root)
     if args.cli:
         try:
             errors += check_protocol_catalog(root, args.cli)
@@ -113,7 +132,9 @@ def main() -> int:
         print(f"FAIL: {error}")
     if errors:
         return 1
-    checked = "links" + (" + protocol catalog" if args.cli else "")
+    checked = "links + spec refs" + (
+        " + protocol catalog" if args.cli else ""
+    )
     print(f"docs check ok ({checked})")
     return 0
 

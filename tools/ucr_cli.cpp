@@ -1,42 +1,44 @@
-// ucr_cli — one command-line driver for the whole library. Every flag maps
-// onto a declarative ExperimentSpec (src/exp/spec.hpp); the CLI itself is
-// just spec construction + the compile/run/sink pipeline, so a sweep typed
-// here, a bench harness and a sharded cross-machine run all execute the
-// exact same code path.
+// ucr_cli — one command-line driver for the whole library. The canonical
+// experiment description is the textual spec (src/exp/spec_io.hpp):
+// --spec=FILE loads one, every other flag sets the same field of the
+// ExperimentSpec directly, and explicit flags win over the file — so a
+// versioned spec plus a one-flag override (a different shard, a different
+// format) is the normal cross-machine invocation. --dump-spec prints the
+// canonical merged text instead of running, which is also how a flag
+// invocation gets turned into a spec file in the first place. Either way
+// the CLI is just spec construction + the compile/run/sink pipeline, so a
+// sweep typed here, a spec file, a bench harness and a sharded
+// cross-machine run all execute the exact same code path.
 //
 // Examples:
 //   ucr_cli --list
+//   ucr_cli --spec=specs/fig1.spec
+//   ucr_cli --spec=specs/fig1.spec --shard=2/4
+//   ucr_cli --protocols=paper --kmax=100000 --format=csv --dump-spec
 //   ucr_cli --protocol="One-Fail Adaptive" --k=100000 --runs=10
-//   ucr_cli --protocols=paper --kmax=100000 --format=csv
 //   ucr_cli --protocols=paper --kmax=1000000 --shard=0/4 --format=csv
 //   ucr_cli --protocol="LogLog-Iterated Back-off" --k=500
 //           --arrivals=poisson --lambda=0.1 --runs=5 --format=jsonl
 //   ucr_cli --protocol="Exp Back-on/Back-off" --k=100000
 //           --arrivals=poisson --lambda=0.02 --engine=node_batched
-//   ucr_cli --protocol="One-Fail Adaptive" --k=1000 --csv=1
+#include <cstdlib>
 #include <iostream>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
 #include "exp/plan.hpp"
 #include "exp/run.hpp"
 #include "exp/sink.hpp"
+#include "exp/spec_io.hpp"
 
 namespace {
 
-std::vector<ucr::ProtocolFactory> catalogue() {
-  auto protocols = ucr::all_protocols();
-  protocols.push_back(ucr::make_dynamic_one_fail_factory());
-  return protocols;
-}
-
 int list_protocols() {
   std::cout << "Available protocols:\n";
-  for (const auto& p : catalogue()) {
+  for (const auto& p : ucr::default_catalogue()) {
     std::cout << "  " << p.name << "\n";
   }
   return 0;
@@ -45,9 +47,18 @@ int list_protocols() {
 int usage(const std::string& error) {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
-      << "usage: ucr_cli --protocol=<name> [options]\n"
+      << "usage: ucr_cli --spec=FILE [overriding flags]\n"
+         "       ucr_cli --protocol=<name> [options]\n"
          "       ucr_cli --protocols=<a,b|paper|all> [options]\n"
          "       ucr_cli --list\n\n"
+         "spec file front end:\n"
+         "  --spec=FILE       load a textual ExperimentSpec (the key=value\n"
+         "                    format of src/exp/spec_io.hpp; the shipped\n"
+         "                    sweeps live in specs/). Explicit flags below\n"
+         "                    override the file's values (flag wins).\n"
+         "  --dump-spec       print the canonical merged spec text and\n"
+         "                    exit — turns any flag invocation into a\n"
+         "                    versionable spec file\n"
          "spec axes (each flag sets one field of the ExperimentSpec):\n"
          "  --protocol=NAME   one protocol (case-insensitive; typos get a\n"
          "                    did-you-mean hint — try --list)\n"
@@ -101,94 +112,151 @@ std::vector<std::string> split_list(const std::string& text) {
 }
 
 int run_spec(const ucr::CliArgs& args) {
-  const auto protocols = catalogue();
+  const auto protocols = ucr::default_catalogue();
 
-  ucr::exp::ExperimentSpec spec;
-
-  // Protocol axis.
-  if (const auto one = args.get("protocol")) {
-    spec.with_protocol(*one);
+  // Layer 1: the spec file, when given (else a default-initialized spec).
+  ucr::exp::SpecFile file;
+  const bool from_file = args.get("spec").has_value();
+  if (from_file) {
+    file = ucr::exp::load_spec_file(*args.get("spec"));
   }
-  if (const auto many = args.get("protocols")) {
-    if (*many == "paper") {
-      for (const auto& p : ucr::paper_protocols()) {
-        spec.with_protocol(p.name);
+  ucr::exp::ExperimentSpec& spec = file.spec;
+
+  // Layer 2: explicit flags override the file, field by field.
+
+  // Protocol axis: either protocol flag replaces the file's selection.
+  if (args.get("protocol") || args.get("protocols")) {
+    spec.protocol_names.clear();
+    spec.protocols.clear();
+    if (const auto one = args.get("protocol")) {
+      spec.with_protocol(*one);
+    }
+    if (const auto many = args.get("protocols")) {
+      if (*many == "paper") {
+        for (const auto& p : ucr::paper_protocols()) {
+          spec.with_protocol(p.name);
+        }
+      } else if (*many == "all") {
+        for (const auto& p : protocols) spec.with_protocol(p.name);
+      } else {
+        for (const auto& name : split_list(*many)) spec.with_protocol(name);
       }
-    } else if (*many == "all") {
-      for (const auto& p : protocols) spec.with_protocol(p.name);
-    } else {
-      for (const auto& name : split_list(*many)) spec.with_protocol(name);
     }
   }
-  if (spec.protocol_names.empty()) {
-    return usage("--protocol or --protocols is required (try --list)");
-  }
 
-  // k axis: --ks wins over --kmax wins over --k.
+  // k axis: --ks wins over --kmax wins over --k; the classic default
+  // k = 1000 applies only when neither a flag nor the file set a grid.
   if (const auto ks = args.get("ks")) {
+    spec.ks.clear();
+    spec.k_max = 0;
     for (const auto& item : split_list(*ks)) {
       spec.ks.push_back(ucr::parse_u64_strict(item, "--ks item"));
     }
   } else if (args.get("kmax")) {
     spec.with_paper_ks(args.get_u64("kmax", 0));
-  } else {
-    spec.ks.push_back(args.get_u64("k", 1000));
+  } else if (args.get("k")) {
+    spec.ks = {args.get_u64("k", 1000)};
+    spec.k_max = 0;
+  } else if (!from_file && spec.ks.empty() && spec.k_max == 0) {
+    spec.ks = {1000};
   }
 
-  spec.runs = args.get_u64("runs", 10);
-  spec.seed = args.get_u64("seed", 2011);
+  if (args.get("runs")) spec.runs = args.get_u64("runs", spec.runs);
+  if (args.get("seed")) spec.seed = args.get_u64("seed", spec.seed);
 
-  const std::string engine = args.get("engine").value_or("fair");
-  if (engine == "fair") {
-    spec.engine = ucr::exp::EngineMode::kFair;
-  } else if (engine == "batched") {
-    spec.engine = ucr::exp::EngineMode::kBatched;
-  } else if (engine == "node") {
-    spec.engine = ucr::exp::EngineMode::kNode;
-  } else if (engine == "node_batched") {
-    spec.engine = ucr::exp::EngineMode::kNodeBatched;
-  } else {
-    return usage("unknown --engine (fair, batched, node or node_batched)");
-  }
-
-  // Arrival axis.
-  const double lambda = args.get_double("lambda", 0.1);
-  const std::uint64_t bursts = args.get_u64("bursts", 4);
-  const std::uint64_t gap = args.get_u64("gap", 64);
-  for (const auto& kind : split_list(args.get("arrivals").value_or("batch"))) {
-    if (kind == "batch") {
-      spec.with_arrival(ucr::exp::ArrivalSpec::batch());
-    } else if (kind == "poisson") {
-      spec.with_arrival(ucr::exp::ArrivalSpec::poisson(lambda));
-    } else if (kind == "burst") {
-      spec.with_arrival(ucr::exp::ArrivalSpec::burst(bursts, gap));
+  if (const auto engine = args.get("engine")) {
+    if (*engine == "fair") {
+      spec.engine = ucr::exp::EngineMode::kFair;
+    } else if (*engine == "batched") {
+      spec.engine = ucr::exp::EngineMode::kBatched;
+    } else if (*engine == "node") {
+      spec.engine = ucr::exp::EngineMode::kNode;
+    } else if (*engine == "node_batched") {
+      spec.engine = ucr::exp::EngineMode::kNodeBatched;
     } else {
-      return usage("unknown --arrivals kind '" + kind +
-                   "' (batch, poisson or burst)");
+      return usage("unknown --engine (fair, batched, node or node_batched)");
     }
   }
 
-  spec.engine_options.max_slots = args.get_u64("max-slots", 0);
+  // Arrival axis: an explicit --arrivals list replaces the file's cells;
+  // --lambda/--bursts/--gap shape those flag-built cells. Without
+  // --arrivals the shape flags have nothing to apply to (a file carries
+  // each cell's parameters inline) — fail loudly rather than let a user
+  // believe they re-parameterized the file's cells.
+  if (const auto arrivals = args.get("arrivals")) {
+    spec.arrivals.clear();
+    const double lambda = args.get_double("lambda", 0.1);
+    const std::uint64_t bursts = args.get_u64("bursts", 4);
+    const std::uint64_t gap = args.get_u64("gap", 64);
+    for (const auto& kind : split_list(*arrivals)) {
+      if (kind == "batch") {
+        spec.with_arrival(ucr::exp::ArrivalSpec::batch());
+      } else if (kind == "poisson") {
+        spec.with_arrival(ucr::exp::ArrivalSpec::poisson(lambda));
+      } else if (kind == "burst") {
+        spec.with_arrival(ucr::exp::ArrivalSpec::burst(bursts, gap));
+      } else {
+        return usage("unknown --arrivals kind '" + kind +
+                     "' (batch, poisson or burst)");
+      }
+    }
+  } else if (args.get("lambda") || args.get("bursts") || args.get("gap")) {
+    return usage(
+        "--lambda/--bursts/--gap only shape cells built by --arrivals; to "
+        "override a spec file's arrival cells, restate the list (e.g. "
+        "--arrivals=poisson --lambda=0.9)");
+  }
+
+  if (args.get("max-slots")) {
+    spec.engine_options.max_slots = args.get_u64("max-slots", 0);
+  }
   if (const auto shard = args.get("shard")) {
     spec.shard = ucr::exp::ShardSpec::parse(*shard);
   }
-
-  std::string format = args.get("format").value_or(
-      args.get_bool("csv", false) ? "csv" : "table");
-  if (format != "table" && format != "csv" && format != "jsonl") {
-    return usage("unknown --format (table, csv or jsonl)");
+  // An empty UCR_THREADS means unset (a CI script's THREADS=$N with N
+  // undefined must not wipe a file's pinned thread count).
+  const char* threads_env = std::getenv("UCR_THREADS");
+  if (args.get("threads") ||
+      (threads_env != nullptr && *threads_env != '\0')) {
+    file.threads = ucr::thread_count_option(args, "UCR_THREADS");
+  }
+  if (const auto format = args.get("format")) {
+    if (*format == "table") {
+      file.format = ucr::exp::OutputFormat::kTable;
+    } else if (*format == "csv") {
+      file.format = ucr::exp::OutputFormat::kCsv;
+    } else if (*format == "jsonl") {
+      file.format = ucr::exp::OutputFormat::kJsonl;
+    } else {
+      return usage("unknown --format (table, csv or jsonl)");
+    }
+  } else if (args.get_bool("csv", false)) {
+    file.format = ucr::exp::OutputFormat::kCsv;
   }
 
-  const unsigned threads = ucr::thread_count_option(args, "UCR_THREADS");
+  // The merged description is now final; --dump-spec prints its canonical
+  // text (re-loadable with --spec) instead of running it.
+  if (args.get_bool("dump-spec", false)) {
+    std::cout << ucr::exp::to_text(file);
+    return 0;
+  }
+
+  if (spec.protocol_names.empty() && spec.protocols.empty()) {
+    return usage("--protocol, --protocols or a --spec file naming "
+                 "protocols is required (try --list)");
+  }
+
   const auto plan = ucr::exp::compile(spec, protocols);
 
   // Streaming formats go straight to the sink — constant memory, rows
   // appear as the grid prefix completes.
-  if (format != "table") {
+  if (file.format != ucr::exp::OutputFormat::kTable) {
     ucr::exp::CsvStreamSink csv(std::cout);
     ucr::exp::JsonlSink jsonl(std::cout);
     ucr::exp::ResultSink* sink =
-        format == "csv" ? static_cast<ucr::exp::ResultSink*>(&csv) : &jsonl;
+        file.format == ucr::exp::OutputFormat::kCsv
+            ? static_cast<ucr::exp::ResultSink*>(&csv)
+            : &jsonl;
     std::uint64_t incomplete = 0;
     class CountingSink final : public ucr::exp::ResultSink {
      public:
@@ -201,12 +269,12 @@ int run_spec(const ucr::CliArgs& args) {
      private:
       std::uint64_t* total_;
     } counting(incomplete);
-    ucr::exp::run(plan, {sink, &counting}, {threads});
+    ucr::exp::run(plan, {sink, &counting}, {file.threads});
     return incomplete == 0 ? 0 : 1;
   }
 
   ucr::exp::MemorySink memory;
-  ucr::exp::run(plan, {&memory}, {threads});
+  ucr::exp::run(plan, {&memory}, {file.threads});
   const auto& results = memory.results();
   const auto& cells = memory.cells();
 
@@ -266,10 +334,10 @@ int run_spec(const ucr::CliArgs& args) {
 
 int run_cli(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
-                          {"protocol", "protocols", "k", "ks", "kmax",
-                           "runs", "seed", "engine", "arrivals", "lambda",
-                           "bursts", "gap", "max-slots", "shard", "threads",
-                           "csv", "format", "list"});
+                          {"spec", "dump-spec", "protocol", "protocols", "k",
+                           "ks", "kmax", "runs", "seed", "engine", "arrivals",
+                           "lambda", "bursts", "gap", "max-slots", "shard",
+                           "threads", "csv", "format", "list"});
   if (args.get_bool("list", false)) return list_protocols();
   return run_spec(args);
 }
