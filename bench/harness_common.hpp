@@ -17,6 +17,15 @@
 //                               of outcomes as the exact engines but a
 //                               different RNG path, so per-run numbers
 //                               differ; means/quantiles agree
+//   --channel=SPEC / UCR_CHANNEL  run every cell under this channel model
+//                               (channel/model.hpp grammar: clean,
+//                               capture(<p>), jamming(<q>) or
+//                               jam_burst(<period>,<len>)); applies to the
+//                               harness grid AND to a --spec file's grid.
+//                               Non-clean cells run on the exact node
+//                               engine (docs/SCENARIOS.md), so this is
+//                               also the quick robustness check of any
+//                               archived sweep
 //   --shard=i/N  / UCR_SHARD    own shard i of N of the flattened grid
 //                               (cross-machine sweeps; concatenated
 //                               UCR_CSV_OUT files are byte-identical to
@@ -82,6 +91,9 @@ struct HarnessConfig {
   unsigned threads;
   bool batched;
   exp::ShardSpec shard;
+  /// Set by --channel / UCR_CHANNEL: channel model forced onto every cell
+  /// of the executed grid (harness-own or spec-file).
+  std::optional<ChannelModel> channel;
   /// Set by --spec / UCR_SPEC: the file's grid replaces the harness's own
   /// in run_spec / run_spec_with_sinks.
   std::optional<exp::SpecFile> spec_file;
@@ -99,6 +111,7 @@ struct HarnessConfig {
     spec.engine =
         batched ? exp::EngineMode::kBatched : exp::EngineMode::kFair;
     spec.shard = shard;
+    if (channel) spec.channels = {*channel};
     return spec;
   }
 
@@ -127,7 +140,7 @@ struct HarnessConfig {
 inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
                                           std::uint64_t default_kmax) {
   const CliArgs args(argc, argv, {"kmax", "runs", "seed", "threads",
-                                  "batched", "shard", "spec"});
+                                  "batched", "channel", "shard", "spec"});
   HarnessConfig cfg;
   cfg.k_max = args.get_u64("kmax", env_u64("UCR_KMAX", default_kmax));
   cfg.runs = args.get_u64("runs", env_u64("UCR_RUNS", 10));
@@ -139,6 +152,13 @@ inline HarnessConfig parse_harness_config(int argc, const char* const* argv,
   cfg.threads_given = args.get("threads").has_value() ||
                       (threads_env != nullptr && *threads_env != '\0');
   cfg.batched = args.get_bool("batched", env_u64("UCR_BATCHED", 0) != 0);
+  std::optional<std::string> channel = args.get("channel");
+  if (!channel) {
+    if (const char* env = std::getenv("UCR_CHANNEL")) {
+      if (*env != '\0') channel = std::string(env);
+    }
+  }
+  if (channel) cfg.channel = ChannelModel::parse(*channel);
   std::optional<std::string> shard = args.get("shard");
   if (!shard) {
     if (const char* env = std::getenv("UCR_SHARD")) shard = std::string(env);
@@ -186,10 +206,13 @@ inline void run_spec_with_sinks(const HarnessConfig& cfg,
   if (cfg.spec_file) {
     exp::ExperimentSpec file_spec = cfg.spec_file->spec;
     file_spec.shard = cfg.effective_shard();
+    if (cfg.channel) file_spec.channels = {*cfg.channel};
     if (!cfg.threads_given) threads = cfg.spec_file->threads;
     plan = exp::compile(file_spec, default_catalogue());
   } else {
-    plan = exp::compile(spec);
+    exp::ExperimentSpec own = spec;
+    if (cfg.channel) own.channels = {*cfg.channel};
+    plan = exp::compile(own);
   }
   const auto open_archive = [](const char* env, std::ofstream& file) {
     const char* out = std::getenv(env);
@@ -229,12 +252,13 @@ inline SpecRun run_spec(const HarnessConfig& cfg,
 /// the harness's own pivot shape (a pivot table over the full grid cannot
 /// be assembled from one shard's block, nor from a spec-file grid).
 inline void print_cells(std::ostream& os, const SpecRun& run) {
-  Table table({"cell", "protocol", "k", "arrivals", "mean makespan",
-               "mean ratio", "incomplete"});
+  Table table({"cell", "protocol", "k", "arrivals", "channel",
+               "mean makespan", "mean ratio", "incomplete"});
   for (std::size_t i = 0; i < run.results.size(); ++i) {
     const AggregateResult& res = run.results[i];
     table.add_row({std::to_string(run.cells[i].index), res.protocol,
                    std::to_string(res.k), run.cells[i].arrival.label(),
+                   run.cells[i].channel.label(),
                    format_double(res.makespan.mean, 1),
                    format_double(res.ratio.mean, 3),
                    std::to_string(res.incomplete_runs)});

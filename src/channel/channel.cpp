@@ -4,6 +4,11 @@ namespace ucr {
 
 SlotOutcome Channel::resolve(std::uint64_t num_transmitters) {
   const SlotOutcome outcome = resolve_outcome(num_transmitters);
+  record(outcome, num_transmitters);
+  return outcome;
+}
+
+void Channel::record(SlotOutcome outcome, std::uint64_t num_transmitters) {
   switch (outcome) {
     case SlotOutcome::kSilence:
       ++counters_.silence;
@@ -20,7 +25,6 @@ SlotOutcome Channel::resolve(std::uint64_t num_transmitters) {
     trace_->record(counters_.slots, outcome, num_transmitters);
   }
   ++counters_.slots;
-  return outcome;
 }
 
 }  // namespace ucr

@@ -37,6 +37,13 @@ class Channel {
   /// Resolves the current slot given `num_transmitters` and advances time.
   SlotOutcome resolve(std::uint64_t num_transmitters);
 
+  /// Records an externally classified slot (imperfect channel models —
+  /// channel/model.hpp — can turn a collision into a success or any slot
+  /// into noise, so the outcome is no longer a function of the
+  /// transmitter count alone) and advances time. resolve() is
+  /// record(resolve_outcome(n), n).
+  void record(SlotOutcome outcome, std::uint64_t num_transmitters);
+
   /// Slot index of the *next* slot to be resolved (0-based); equivalently
   /// the number of slots resolved so far.
   std::uint64_t now() const { return counters_.slots; }

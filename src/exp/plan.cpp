@@ -16,11 +16,12 @@ namespace {
 // workload draw can never alias an engine stream. Within the arrival
 // range, (workload cell, run) maps to base + workload_cell * runs + run,
 // where workload_cell indexes the (k, arrival) pair WITHOUT the protocol
-// axis: every protocol of the sweep sees the identical per-run workload
-// draws (a paired design — protocol columns differ only by protocol
-// behaviour, not by workload-sampling noise). Still a pure function of
-// the spec, which is what makes sharded and unsharded compilations of
-// the same grid produce identical workloads.
+// or channel axes: every protocol and every channel model of the sweep
+// sees the identical per-run workload draws (a paired design — columns
+// differ only by protocol/channel behaviour, not by workload-sampling
+// noise). Still a pure function of the spec, which is what makes sharded
+// and unsharded compilations of the same grid produce identical
+// workloads.
 constexpr std::uint64_t kArrivalStreamBase = 1ULL << 32;
 
 }  // namespace
@@ -63,6 +64,16 @@ ExperimentPlan compile(const ExperimentSpec& spec,
     arrival.validate();
   }
 
+  // Resolve the channel axis.
+  std::vector<ChannelModel> channels = spec.channels;
+  if (channels.empty()) channels.push_back(ChannelModel::clean());
+  for (const ChannelModel& channel : channels) {
+    channel.validate();
+  }
+  const bool grid_has_imperfect =
+      std::any_of(channels.begin(), channels.end(),
+                  [](const ChannelModel& c) { return !c.is_clean(); });
+
   // Engine resolution: node-mode specs (and every non-batch cell) run
   // per-station; batched-mode specs take the batched fast path of
   // whichever engine a cell lands on. One spec-level switch, the whole
@@ -75,13 +86,15 @@ ExperimentPlan compile(const ExperimentSpec& spec,
   // Validate engine views against the whole grid up front: a spec that
   // cannot run should fail at compile(), not mid-sweep.
   const bool grid_has_node_cells =
-      spec_forces_node ||
+      spec_forces_node || grid_has_imperfect ||
       std::any_of(arrivals.begin(), arrivals.end(),
                   [](const ArrivalSpec& a) { return !a.is_batch(); });
   const bool grid_has_fair_cells =
       !spec_forces_node &&
       std::any_of(arrivals.begin(), arrivals.end(),
-                  [](const ArrivalSpec& a) { return a.is_batch(); });
+                  [](const ArrivalSpec& a) { return a.is_batch(); }) &&
+      std::any_of(channels.begin(), channels.end(),
+                  [](const ChannelModel& c) { return c.is_clean(); });
   for (const ProtocolFactory& factory : protocols) {
     if (grid_has_node_cells) {
       UCR_REQUIRE(static_cast<bool>(factory.node),
@@ -97,7 +110,8 @@ ExperimentPlan compile(const ExperimentSpec& spec,
     }
   }
 
-  const std::size_t total = protocols.size() * ks.size() * arrivals.size();
+  const std::size_t total =
+      protocols.size() * ks.size() * arrivals.size() * channels.size();
   UCR_CHECK(total > 0, "flattened grid cannot be empty here");
 
   // A per-slot observer is a single mutable object; it cannot be shared by
@@ -130,54 +144,65 @@ ExperimentPlan compile(const ExperimentSpec& spec,
   plan.points.reserve(end - begin);
   plan.cells.reserve(end - begin);
 
-  const std::uint64_t workload_cells = ks.size() * arrivals.size();
   std::size_t index = 0;
   for (const ProtocolFactory& factory : protocols) {
-    for (const std::uint64_t k : ks) {
-      for (const ArrivalSpec& arrival : arrivals) {
-        const std::size_t cell = index++;
-        if (cell < begin || cell >= end) continue;
+    for (std::size_t k_index = 0; k_index < ks.size(); ++k_index) {
+      const std::uint64_t k = ks[k_index];
+      for (std::size_t arrival_index = 0; arrival_index < arrivals.size();
+           ++arrival_index) {
+        const ArrivalSpec& arrival = arrivals[arrival_index];
+        for (const ChannelModel& channel : channels) {
+          const std::size_t cell = index++;
+          if (cell < begin || cell >= end) continue;
 
-        CellInfo info;
-        info.index = cell;
-        info.protocol = factory.name;
-        info.k = k;
-        info.arrival = arrival;
-        const bool node_cell = spec_forces_node || !arrival.is_batch();
-        info.engine =
-            node_cell ? (spec_is_batched ? EngineMode::kNodeBatched
-                                         : EngineMode::kNode)
-                      : spec.engine;
+          CellInfo info;
+          info.index = cell;
+          info.protocol = factory.name;
+          info.k = k;
+          info.arrival = arrival;
+          info.channel = channel;
+          const bool imperfect = !channel.is_clean();
+          const bool node_cell =
+              spec_forces_node || imperfect || !arrival.is_batch();
+          info.engine = imperfect ? EngineMode::kNode
+                        : node_cell
+                            ? (spec_is_batched ? EngineMode::kNodeBatched
+                                               : EngineMode::kNode)
+                            : spec.engine;
 
-        EngineOptions options = spec.engine_options;
-        options.batched = info.batched_engine();
+          EngineOptions options = spec.engine_options;
+          options.batched = info.batched_engine();
+          options.channel = channel;
 
-        SweepPoint point;
-        if (!node_cell) {
-          point = SweepPoint::fair(factory, k, spec.runs, spec.seed, options);
-        } else if (arrival.kind == ArrivalSpec::Kind::kPoisson) {
-          // Heterogeneous cell: each run draws its own arrival pattern
-          // from the substream block of its (k, arrival) pair — the same
-          // block for every protocol, so protocols are compared on
-          // identical workload draws.
-          const std::uint64_t stream_base =
-              kArrivalStreamBase +
-              (static_cast<std::uint64_t>(cell) % workload_cells) *
-                  spec.runs;
-          const std::uint64_t seed = spec.seed;
-          point = SweepPoint::node_per_run(
-              factory, k,
-              [arrival, k, seed, stream_base](std::uint64_t run) {
-                return arrival.materialize(k, seed, stream_base + run);
-              },
-              spec.runs, spec.seed, options);
-        } else {
-          point = SweepPoint::node(factory,
-                                   arrival.materialize(k, spec.seed, 0),
-                                   spec.runs, spec.seed, options);
+          SweepPoint point;
+          if (!node_cell) {
+            point =
+                SweepPoint::fair(factory, k, spec.runs, spec.seed, options);
+          } else if (arrival.is_random()) {
+            // Heterogeneous cell: each run draws its own arrival pattern
+            // from the substream block of its (k, arrival) pair — the
+            // same block for every protocol AND every channel model, so
+            // columns are compared on identical workload draws.
+            const std::uint64_t stream_base =
+                kArrivalStreamBase +
+                (static_cast<std::uint64_t>(k_index) * arrivals.size() +
+                 arrival_index) *
+                    spec.runs;
+            const std::uint64_t seed = spec.seed;
+            point = SweepPoint::node_per_run(
+                factory, k,
+                [arrival, k, seed, stream_base](std::uint64_t run) {
+                  return arrival.materialize(k, seed, stream_base + run);
+                },
+                spec.runs, spec.seed, options);
+          } else {
+            point = SweepPoint::node(factory,
+                                     arrival.materialize(k, spec.seed, 0),
+                                     spec.runs, spec.seed, options);
+          }
+          plan.points.push_back(std::move(point));
+          plan.cells.push_back(std::move(info));
         }
-        plan.points.push_back(std::move(point));
-        plan.cells.push_back(std::move(info));
       }
     }
   }

@@ -23,12 +23,19 @@ struct CellInfo {
   std::string protocol;
   std::uint64_t k = 0;
   ArrivalSpec arrival;
+  /// The channel model this cell runs under (channel/model.hpp).
+  ChannelModel channel;
   /// The engine this cell actually runs on. Non-batch arrivals (and kNode
   /// / kNodeBatched specs) run per-station: exact (kNode) under
   /// fair-mode specs, batched (kNodeBatched) under batched-mode specs.
-  /// Batch cells keep the spec's fair/batched mode. The distinction
-  /// matters downstream because batched runs are a different sample path
-  /// than exact runs from the same seed wherever a stretch is skipped.
+  /// Batch cells keep the spec's fair/batched mode. Cells with a
+  /// non-clean channel always run on the exact node engine — the fair
+  /// engines rest on a common-feedback symmetry imperfect channels break,
+  /// and the batched fast paths skip slots whose channel coins must be
+  /// drawn — so `engine` is kNode there whatever the spec says. The
+  /// distinction matters downstream because batched runs are a different
+  /// sample path than exact runs from the same seed wherever a stretch is
+  /// skipped.
   EngineMode engine = EngineMode::kFair;
 
   bool node_engine() const {

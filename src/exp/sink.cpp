@@ -66,6 +66,7 @@ void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
      << ",\"protocol\":\"" << json_escape(result.protocol) << "\""   //
      << ",\"k\":" << result.k                                        //
      << ",\"arrival\":\"" << json_escape(cell.arrival.label()) << "\""
+     << ",\"channel\":\"" << json_escape(cell.channel.label()) << "\""
      << ",\"engine\":\"" << engine_mode_name(cell.engine) << "\""
      << ",\"runs\":" << result.runs                                  //
      << ",\"incomplete_runs\":" << result.incomplete_runs            //
@@ -80,7 +81,9 @@ void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
      << ",\"mean_ratio\":" << format_double(result.ratio.mean, 6)    //
      << ",\"latency_p50\":" << format_double(result.latency_p50, 6)
      << ",\"latency_p95\":" << format_double(result.latency_p95, 6)
-     << ",\"latency_p99\":" << format_double(result.latency_p99, 6)  //
+     << ",\"latency_p99\":" << format_double(result.latency_p99, 6)
+     << ",\"energy_mean\":" << format_double(result.energy_mean, 6)
+     << ",\"energy_max\":" << format_double(result.energy_max, 6)  //
      << "}\n";
   os.flush();
 }

@@ -1,6 +1,7 @@
 #include "exp/spec.hpp"
 
 #include <cstdlib>
+#include <map>
 #include <utility>
 
 #include "common/check.hpp"
@@ -41,6 +42,31 @@ ArrivalSpec ArrivalSpec::burst(std::uint64_t bursts, std::uint64_t gap) {
   return spec;
 }
 
+ArrivalSpec ArrivalSpec::schedule(std::vector<std::uint64_t> slots) {
+  ArrivalSpec spec;
+  spec.kind = Kind::kSchedule;
+  spec.schedule_slots = std::move(slots);
+  return spec;
+}
+
+ArrivalSpec ArrivalSpec::mmpp(double lambda_hi, double lambda_lo,
+                              std::uint64_t dwell) {
+  ArrivalSpec spec;
+  spec.kind = Kind::kMmpp;
+  spec.lambda_hi = lambda_hi;
+  spec.lambda_lo = lambda_lo;
+  spec.dwell = dwell;
+  return spec;
+}
+
+ArrivalSpec ArrivalSpec::pareto(double alpha, double xm) {
+  ArrivalSpec spec;
+  spec.kind = Kind::kPareto;
+  spec.alpha = alpha;
+  spec.xm = xm;
+  return spec;
+}
+
 std::string ArrivalSpec::label() const {
   switch (kind) {
     case Kind::kBatch:
@@ -50,9 +76,30 @@ std::string ArrivalSpec::label() const {
     case Kind::kBurst:
       return "burst(" + std::to_string(bursts) + "," + std::to_string(gap) +
              ")";
+    case Kind::kSchedule: {
+      std::string out = "schedule(";
+      for (std::size_t i = 0; i < schedule_slots.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(schedule_slots[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kMmpp:
+      return "mmpp(" + format_double(lambda_hi, 6) + "," +
+             format_double(lambda_lo, 6) + "," + std::to_string(dwell) + ")";
+    case Kind::kPareto:
+      return "pareto(" + format_double(alpha, 6) + "," +
+             format_double(xm, 6) + ")";
   }
   UCR_CHECK(false, "unreachable arrival kind");
   return {};
+}
+
+const std::vector<std::string>& ArrivalSpec::kind_names() {
+  static const std::vector<std::string> names{
+      "batch", "poisson", "burst", "schedule", "mmpp", "pareto",
+  };
+  return names;
 }
 
 ArrivalSpec ArrivalSpec::parse(const std::string& text) {
@@ -62,32 +109,68 @@ ArrivalSpec ArrivalSpec::parse(const std::string& text) {
   // "<kind>(<args>)" — split the head off the parenthesized argument list.
   const std::size_t open = value.find('(');
   const std::string head = trim(value.substr(0, open));
-  if (head == "poisson" || head == "burst") {
+  static const std::map<std::string, std::string> grammar{
+      {"poisson", "poisson(<lambda>)"},
+      {"burst", "burst(<bursts>,<gap>)"},
+      {"schedule", "schedule(<slot>,<slot>,...)"},
+      {"mmpp", "mmpp(<lambda_hi>,<lambda_lo>,<dwell>)"},
+      {"pareto", "pareto(<alpha>,<xm>)"},
+  };
+  const auto shape = grammar.find(head);
+  if (shape != grammar.end()) {
     UCR_REQUIRE(open != std::string::npos && value.back() == ')',
-                "malformed arrival '" + value + "' (expected " + head +
-                    (head == "poisson" ? "(<lambda>))" : "(<bursts>,<gap>))"));
-    const std::string args =
-        value.substr(open + 1, value.size() - open - 2);
+                "malformed arrival '" + value + "' (expected " +
+                    shape->second + ")");
+    const std::string source = "arrival '" + value + "'";
+    std::vector<std::string> args;
+    std::string arg_text = value.substr(open + 1, value.size() - open - 2);
+    std::size_t start = 0;
+    while (start <= arg_text.size()) {
+      const std::size_t comma = arg_text.find(',', start);
+      const std::size_t end =
+          comma == std::string::npos ? arg_text.size() : comma;
+      args.push_back(trim(arg_text.substr(start, end - start)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    const auto want = [&](std::size_t n) {
+      UCR_REQUIRE(args.size() == n, "malformed arrival '" + value +
+                                        "' (expected " + shape->second + ")");
+    };
     ArrivalSpec spec;
     if (head == "poisson") {
-      spec = poisson(
-          parse_double_strict(trim(args), "arrival '" + value + "'"));
+      want(1);
+      spec = poisson(parse_double_strict(args[0], source));
+    } else if (head == "burst") {
+      want(2);
+      spec = burst(parse_u64_strict(args[0], source),
+                   parse_u64_strict(args[1], source));
+    } else if (head == "schedule") {
+      std::vector<std::uint64_t> slots;
+      slots.reserve(args.size());
+      for (const std::string& arg : args) {
+        slots.push_back(parse_u64_strict(arg, source));
+      }
+      spec = schedule(std::move(slots));
+    } else if (head == "mmpp") {
+      want(3);
+      spec = mmpp(parse_double_strict(args[0], source),
+                  parse_double_strict(args[1], source),
+                  parse_u64_strict(args[2], source));
     } else {
-      const std::size_t comma = args.find(',');
-      UCR_REQUIRE(comma != std::string::npos,
-                  "malformed arrival '" + value +
-                      "' (expected burst(<bursts>,<gap>))");
-      const std::string source = "arrival '" + value + "'";
-      spec = burst(parse_u64_strict(trim(args.substr(0, comma)), source),
-                   parse_u64_strict(trim(args.substr(comma + 1)), source));
+      want(2);
+      spec = pareto(parse_double_strict(args[0], source),
+                    parse_double_strict(args[1], source));
     }
     spec.validate();
     return spec;
   }
   throw ContractViolation(
       "unknown arrival kind '" + head + "' — did you mean '" +
-      closest_name({"batch", "poisson", "burst"}, head) +
-      "'? (batch, poisson(<lambda>) or burst(<bursts>,<gap>))");
+      closest_name(kind_names(), head) +
+      "'? (batch, poisson(<lambda>), burst(<bursts>,<gap>), "
+      "schedule(<slot>,...), mmpp(<lambda_hi>,<lambda_lo>,<dwell>) or "
+      "pareto(<alpha>,<xm>))");
 }
 
 ArrivalPattern ArrivalSpec::materialize(std::uint64_t k, std::uint64_t seed,
@@ -118,6 +201,16 @@ ArrivalPattern ArrivalSpec::materialize(std::uint64_t k, std::uint64_t seed,
       }
       return pattern;
     }
+    case Kind::kSchedule:
+      return schedule_arrivals(schedule_slots, k);
+    case Kind::kMmpp: {
+      Xoshiro256 rng = Xoshiro256::stream(seed, stream_id);
+      return mmpp_arrivals(k, lambda_hi, lambda_lo, dwell, rng);
+    }
+    case Kind::kPareto: {
+      Xoshiro256 rng = Xoshiro256::stream(seed, stream_id);
+      return pareto_arrivals(k, alpha, xm, rng);
+    }
   }
   UCR_CHECK(false, "unreachable arrival kind");
   return {};
@@ -129,6 +222,27 @@ void ArrivalSpec::validate() const {
   }
   if (kind == Kind::kBurst) {
     UCR_REQUIRE(bursts > 0, "burst arrival spec needs at least one burst");
+  }
+  if (kind == Kind::kSchedule) {
+    UCR_REQUIRE(!schedule_slots.empty(),
+                "schedule arrival spec needs at least one slot");
+    for (std::size_t i = 1; i < schedule_slots.size(); ++i) {
+      UCR_REQUIRE(schedule_slots[i] >= schedule_slots[i - 1],
+                  "schedule arrival slots must be non-decreasing (slot " +
+                      std::to_string(schedule_slots[i]) + " at position " +
+                      std::to_string(i) + " follows " +
+                      std::to_string(schedule_slots[i - 1]) + ")");
+    }
+  }
+  if (kind == Kind::kMmpp) {
+    UCR_REQUIRE(lambda_hi > 0.0, "mmpp burst-state rate must be positive");
+    UCR_REQUIRE(lambda_lo >= 0.0,
+                "mmpp quiet-state rate must be non-negative");
+    UCR_REQUIRE(dwell >= 1, "mmpp mean dwell must be at least one slot");
+  }
+  if (kind == Kind::kPareto) {
+    UCR_REQUIRE(alpha > 0.0, "pareto shape alpha must be positive");
+    UCR_REQUIRE(xm > 0.0, "pareto scale xm must be positive");
   }
 }
 
@@ -196,6 +310,11 @@ ExperimentSpec& ExperimentSpec::with_arrival(ArrivalSpec arrival) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::with_channel(ChannelModel channel) {
+  channels.push_back(channel);
+  return *this;
+}
+
 std::vector<std::string> ExperimentSpec::all_protocol_names() const {
   std::vector<std::string> names = protocol_names;
   names.reserve(names.size() + protocols.size());
@@ -212,8 +331,8 @@ bool ExperimentSpec::operator==(const ExperimentSpec& other) const {
     if (protocols[i].name != other.protocols[i].name) return false;
   }
   return ks == other.ks && k_max == other.k_max &&
-         arrivals == other.arrivals && runs == other.runs &&
-         seed == other.seed && engine == other.engine &&
+         arrivals == other.arrivals && channels == other.channels &&
+         runs == other.runs && seed == other.seed && engine == other.engine &&
          engine_options == other.engine_options && shard == other.shard;
 }
 

@@ -21,15 +21,15 @@
 
 namespace ucr::exp {
 
-/// Declarative description of one arrival workload. Batch and burst
-/// patterns are deterministic functions of (kind, parameters, k); Poisson
-/// cells re-sample a fresh pattern for every run from a substream derived
-/// from (seed, global cell index, run), so a Poisson cell is a
-/// heterogeneous-workload cell by construction — each run sees its own
-/// draw of the arrival process, and the draw is fixed by the spec alone
-/// (never by scheduling).
+/// Declarative description of one arrival workload. Batch, burst and
+/// schedule patterns are deterministic functions of (kind, parameters, k);
+/// the randomized kinds (Poisson, MMPP, Pareto) re-sample a fresh pattern
+/// for every run from a substream derived from (seed, workload cell, run),
+/// so such a cell is a heterogeneous-workload cell by construction — each
+/// run sees its own draw of the arrival process, and the draw is fixed by
+/// the spec alone (never by scheduling).
 struct ArrivalSpec {
-  enum class Kind { kBatch, kPoisson, kBurst };
+  enum class Kind { kBatch, kPoisson, kBurst, kSchedule, kMmpp, kPareto };
 
   Kind kind = Kind::kBatch;
   /// Poisson arrival rate in messages per slot.
@@ -38,23 +38,53 @@ struct ArrivalSpec {
   /// slots apart.
   std::uint64_t bursts = 4;
   std::uint64_t gap = 64;
+  /// Fixed worst-case schedule: the adversary's slot list, sorted
+  /// non-decreasing; tiled with period back() + 1 when k exceeds it
+  /// (sim/arrival.hpp schedule_arrivals).
+  std::vector<std::uint64_t> schedule_slots;
+  /// MMPP shape: burst-state and quiet-state rates (messages per slot)
+  /// and the geometric mean dwell (slots) in each state.
+  double lambda_hi = 0.5;
+  double lambda_lo = 0.01;
+  std::uint64_t dwell = 100;
+  /// Pareto inter-arrival shape/scale: gaps of xm * U^(-1/alpha) slots.
+  double alpha = 1.5;
+  double xm = 1.0;
 
   static ArrivalSpec batch();
   static ArrivalSpec poisson(double lambda);
   static ArrivalSpec burst(std::uint64_t bursts, std::uint64_t gap);
+  static ArrivalSpec schedule(std::vector<std::uint64_t> slots);
+  static ArrivalSpec mmpp(double lambda_hi, double lambda_lo,
+                          std::uint64_t dwell);
+  static ArrivalSpec pareto(double alpha, double xm);
 
   bool is_batch() const { return kind == Kind::kBatch; }
+  /// Randomized kinds re-sample a fresh pattern per run (heterogeneous
+  /// cells); deterministic kinds materialize one pattern per cell.
+  bool is_random() const {
+    return kind == Kind::kPoisson || kind == Kind::kMmpp ||
+           kind == Kind::kPareto;
+  }
 
-  /// Human/JSONL label: "batch", "poisson(0.1)", "burst(4,64)".
+  /// Human/JSONL label: "batch", "poisson(0.1)", "burst(4,64)",
+  /// "schedule(0,0,5)", "mmpp(0.5,0.01,100)", "pareto(1.5,1)".
   std::string label() const;
 
   /// Parses the label syntax back: "batch", "poisson(<lambda>)",
-  /// "burst(<bursts>,<gap>)" (whitespace around tokens tolerated).
-  /// Validates the parameters; unknown kinds get a did-you-mean
-  /// ContractViolation. The inverse of the spec-file serialization
-  /// (exp/spec_io.hpp), which prints lambda with shortest-round-trip
-  /// precision so parse(print(s)) == s exactly.
+  /// "burst(<bursts>,<gap>)", "schedule(<s1>,<s2>,...)",
+  /// "mmpp(<lambda_hi>,<lambda_lo>,<dwell>)", "pareto(<alpha>,<xm>)"
+  /// (whitespace around tokens tolerated). Validates the parameters;
+  /// unknown kinds get a did-you-mean ContractViolation. The inverse of
+  /// the spec-file serialization (exp/spec_io.hpp), which prints doubles
+  /// with shortest-round-trip precision so parse(print(s)) == s exactly.
   static ArrivalSpec parse(const std::string& text);
+
+  /// The spec keywords, in canonical order — shared by parse()'s
+  /// did-you-mean hint and the docs drift test
+  /// (tests/docs/scenarios_doc_test.cpp), so docs/SCENARIOS.md cannot go
+  /// stale against the live registry.
+  static const std::vector<std::string>& kind_names();
 
   /// Materializes the concrete pattern for one run of a cell. `stream_id`
   /// is the arrival-substream index assigned by compile() (distinct per
@@ -64,7 +94,8 @@ struct ArrivalSpec {
                              std::uint64_t stream_id) const;
 
   /// Throws ContractViolation on out-of-range parameters (lambda <= 0,
-  /// bursts == 0).
+  /// bursts == 0, an empty or unsorted schedule, non-positive MMPP /
+  /// Pareto shapes).
   void validate() const;
 
   bool operator==(const ArrivalSpec&) const = default;
@@ -124,6 +155,14 @@ struct ExperimentSpec {
   /// Per-cell arrival workloads; empty means {batch}.
   std::vector<ArrivalSpec> arrivals;
 
+  /// Per-cell channel models (channel/model.hpp); empty means {clean}.
+  /// A grid axis like `arrivals`: the flattened grid is protocol-major,
+  /// then k, then arrival, then channel. Cells with a non-clean channel
+  /// run on the exact node engine whatever `engine` says (the fair and
+  /// batched engines require the clean channel; compile() routes, the
+  /// cell's reported engine says so — see docs/SCENARIOS.md).
+  std::vector<ChannelModel> channels;
+
   std::uint64_t runs = 10;
   std::uint64_t seed = 2011;
   EngineMode engine = EngineMode::kFair;
@@ -134,13 +173,14 @@ struct ExperimentSpec {
   ShardSpec shard;
 
   /// The flattened grid is protocol-major: for each protocol, for each k,
-  /// for each arrival spec — one cell. Helpers below mutate-and-return so
-  /// specs can be built fluently.
+  /// for each arrival spec, for each channel model — one cell. Helpers
+  /// below mutate-and-return so specs can be built fluently.
   ExperimentSpec& with_protocol(std::string name);
   ExperimentSpec& with_factory(ProtocolFactory factory);
   ExperimentSpec& with_ks(std::vector<std::uint64_t> grid);
   ExperimentSpec& with_paper_ks(std::uint64_t max);
   ExperimentSpec& with_arrival(ArrivalSpec arrival);
+  ExperimentSpec& with_channel(ChannelModel channel);
 
   /// All protocol selectors in compile() resolution order: names first,
   /// then the names of the explicit factories. What the spec-file

@@ -32,6 +32,7 @@ const std::vector<std::string>& known_keys() {
       "record_deliveries",
       "record_latencies",
       "collision_detection",
+      "channel",
       "shard",
       "threads",
       "format",
@@ -102,8 +103,39 @@ std::string arrival_text(const ArrivalSpec& arrival) {
     case ArrivalSpec::Kind::kBurst:
       return "burst(" + std::to_string(arrival.bursts) + "," +
              std::to_string(arrival.gap) + ")";
+    case ArrivalSpec::Kind::kSchedule: {
+      std::string out = "schedule(";
+      for (std::size_t i = 0; i < arrival.schedule_slots.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(arrival.schedule_slots[i]);
+      }
+      return out + ")";
+    }
+    case ArrivalSpec::Kind::kMmpp:
+      return "mmpp(" + format_double_shortest(arrival.lambda_hi) + "," +
+             format_double_shortest(arrival.lambda_lo) + "," +
+             std::to_string(arrival.dwell) + ")";
+    case ArrivalSpec::Kind::kPareto:
+      return "pareto(" + format_double_shortest(arrival.alpha) + "," +
+             format_double_shortest(arrival.xm) + ")";
   }
   UCR_CHECK(false, "unreachable arrival kind");
+  return {};
+}
+
+std::string channel_text(const ChannelModel& channel) {
+  switch (channel.kind) {
+    case ChannelModel::Kind::kClean:
+      return "clean";
+    case ChannelModel::Kind::kCapture:
+      return "capture(" + format_double_shortest(channel.p_capture) + ")";
+    case ChannelModel::Kind::kJamming:
+      return "jamming(" + format_double_shortest(channel.jam_prob) + ")";
+    case ChannelModel::Kind::kJamBurst:
+      return "jam_burst(" + std::to_string(channel.jam_period) + "," +
+             std::to_string(channel.jam_len) + ")";
+  }
+  UCR_CHECK(false, "unreachable channel kind");
   return {};
 }
 
@@ -173,8 +205,9 @@ SpecFile parse_spec(const std::string& text) {
     UCR_REQUIRE(!key.empty(), source + ": missing key before '='");
     UCR_REQUIRE(!value.empty(), source + ": missing value for '" + key + "'");
 
-    // Every key but the repeatable `arrival` is single-shot.
-    if (key != "arrival") {
+    // Every key but the repeatable grid axes `arrival` / `channel` is
+    // single-shot.
+    if (key != "arrival" && key != "channel") {
       UCR_REQUIRE(seen.insert(key).second,
                   source + ": duplicate key '" + key + "'");
     }
@@ -210,6 +243,8 @@ SpecFile parse_spec(const std::string& text) {
         spec.engine_options.record_latencies = parse_bool(value, source);
       } else if (key == "collision_detection") {
         spec.engine_options.collision_detection = parse_bool(value, source);
+      } else if (key == "channel") {
+        spec.with_channel(ChannelModel::parse(value));
       } else if (key == "shard") {
         spec.shard = ShardSpec::parse(value);
       } else if (key == "threads") {
@@ -283,6 +318,9 @@ std::string to_text(const ExperimentSpec& spec) {
   out += "collision_detection = " +
          std::string(bool_text(spec.engine_options.collision_detection)) +
          "\n";
+  for (const ChannelModel& channel : spec.channels) {
+    out += "channel = " + channel_text(channel) + "\n";
+  }
   out += "shard = " + spec.shard.label() + "\n";
   return out;
 }

@@ -1,8 +1,10 @@
 #include "sim/arrival.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/samplers.hpp"
 
 namespace ucr {
 
@@ -35,6 +37,63 @@ ArrivalPattern burst_arrivals(std::uint64_t bursts, std::uint64_t burst_size,
     for (std::uint64_t i = 0; i < burst_size; ++i) {
       arrivals.push_back(at);
     }
+  }
+  return arrivals;
+}
+
+ArrivalPattern schedule_arrivals(const std::vector<std::uint64_t>& slots,
+                                 std::uint64_t k) {
+  UCR_REQUIRE(!slots.empty(), "schedule arrival list must not be empty");
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    UCR_REQUIRE(slots[i - 1] <= slots[i],
+                "schedule arrival list must be sorted non-decreasing (slot " +
+                    std::to_string(slots[i]) + " after " +
+                    std::to_string(slots[i - 1]) + ")");
+  }
+  const std::uint64_t period = slots.back() + 1;
+  ArrivalPattern arrivals;
+  arrivals.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    arrivals.push_back(slots[i % slots.size()] + (i / slots.size()) * period);
+  }
+  return arrivals;
+}
+
+ArrivalPattern mmpp_arrivals(std::uint64_t k, double lambda_hi,
+                             double lambda_lo, std::uint64_t dwell,
+                             Xoshiro256& rng) {
+  UCR_REQUIRE(lambda_hi > 0.0, "MMPP burst-state rate must be positive");
+  UCR_REQUIRE(lambda_lo >= 0.0, "MMPP quiet-state rate must be >= 0");
+  UCR_REQUIRE(dwell >= 1, "MMPP dwell must be >= 1 slot");
+  const double switch_prob = 1.0 / static_cast<double>(dwell);
+  ArrivalPattern arrivals;
+  arrivals.reserve(k);
+  bool burst_state = true;
+  std::uint64_t slot = 0;
+  while (arrivals.size() < k) {
+    const double rate = burst_state ? lambda_hi : lambda_lo;
+    std::uint64_t count = rate > 0.0 ? sample_poisson(rng, rate) : 0;
+    count = std::min<std::uint64_t>(count, k - arrivals.size());
+    for (std::uint64_t i = 0; i < count; ++i) arrivals.push_back(slot);
+    if (rng.next_bernoulli(switch_prob)) burst_state = !burst_state;
+    ++slot;
+  }
+  return arrivals;
+}
+
+ArrivalPattern pareto_arrivals(std::uint64_t k, double alpha, double xm,
+                               Xoshiro256& rng) {
+  UCR_REQUIRE(alpha > 0.0, "Pareto shape alpha must be positive");
+  UCR_REQUIRE(xm > 0.0, "Pareto scale xm must be positive");
+  ArrivalPattern arrivals;
+  arrivals.reserve(k);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    // Inverse-CDF: X = xm * (1 - u)^(-1/alpha), u in [0, 1) so 1 - u is
+    // in (0, 1] and X >= xm always.
+    const double u = rng.next_double();
+    t += xm * std::pow(1.0 - u, -1.0 / alpha);
+    arrivals.push_back(static_cast<std::uint64_t>(t));
   }
   return arrivals;
 }

@@ -32,4 +32,29 @@ ArrivalPattern poisson_arrivals(std::uint64_t k, double lambda,
 ArrivalPattern burst_arrivals(std::uint64_t bursts, std::uint64_t burst_size,
                               std::uint64_t gap);
 
+/// Fixed worst-case schedule: the first k arrivals of the adversary's slot
+/// list `slots` (sorted non-decreasing, non-empty), tiled with period
+/// slots.back() + 1 when k exceeds the list — so a spec-embedded schedule
+/// of any length materializes a deterministic pattern for any k. Throws
+/// ContractViolation on an empty or unsorted list.
+ArrivalPattern schedule_arrivals(const std::vector<std::uint64_t>& slots,
+                                 std::uint64_t k);
+
+/// Markov-modulated Poisson process: a two-state arrival source that emits
+/// Poisson(lambda_hi) arrivals per slot in the burst state and
+/// Poisson(lambda_lo) in the quiet state, switching state with probability
+/// 1/dwell after each slot (geometric dwell times with mean `dwell`).
+/// Starts in the burst state; truncated to exactly k arrivals.
+ArrivalPattern mmpp_arrivals(std::uint64_t k, double lambda_hi,
+                             double lambda_lo, std::uint64_t dwell,
+                             Xoshiro256& rng);
+
+/// Heavy-tailed inter-arrivals: gaps drawn from a Pareto(alpha, xm)
+/// distribution (X = xm * U^(-1/alpha), floored to slot granularity), the
+/// classic model for self-similar bursty traffic. alpha <= 1 gives an
+/// infinite-mean gap distribution — legal, but expect enormous quiet
+/// stretches.
+ArrivalPattern pareto_arrivals(std::uint64_t k, double alpha, double xm,
+                               Xoshiro256& rng);
+
 }  // namespace ucr

@@ -59,6 +59,11 @@ RunMetrics run_fair_slot_engine(FairSlotProtocol& protocol, std::uint64_t k,
                                 Xoshiro256& rng,
                                 const EngineOptions& options) {
   UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  UCR_REQUIRE(options.channel.is_clean(),
+              "the fair aggregate engines rest on a common-feedback "
+              "symmetry that imperfect channel models (channel/model.hpp) "
+              "break; non-clean cells run on the exact node engine — the "
+              "exp pipeline routes them there automatically");
   RunMetrics metrics;
   metrics.k = k;
   const std::uint64_t cap = options.resolved_cap(k);
@@ -82,6 +87,11 @@ RunMetrics run_fair_window_engine(WindowSchedule& schedule, std::uint64_t k,
                                   Xoshiro256& rng,
                                   const EngineOptions& options) {
   UCR_REQUIRE(k > 0, "workload must contain at least one message");
+  UCR_REQUIRE(options.channel.is_clean(),
+              "the fair aggregate engines rest on a common-feedback "
+              "symmetry that imperfect channel models (channel/model.hpp) "
+              "break; non-clean cells run on the exact node engine — the "
+              "exp pipeline routes them there automatically");
   RunMetrics metrics;
   metrics.k = k;
   const std::uint64_t cap = options.resolved_cap(k);
@@ -158,6 +168,11 @@ RunMetrics run_fair_slot_engine_batched(FairSlotProtocol& protocol,
   UCR_REQUIRE(options.observer == nullptr,
               "the batched engine never materializes skipped slots; per-slot "
               "observers require the exact engine");
+  UCR_REQUIRE(options.channel.is_clean(),
+              "the fair aggregate engines rest on a common-feedback "
+              "symmetry that imperfect channel models (channel/model.hpp) "
+              "break; non-clean cells run on the exact node engine — the "
+              "exp pipeline routes them there automatically");
   RunMetrics metrics;
   metrics.k = k;
   const std::uint64_t cap = options.resolved_cap(k);
@@ -225,6 +240,11 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
   UCR_REQUIRE(options.observer == nullptr,
               "the batched engine never materializes skipped slots; per-slot "
               "observers require the exact engine");
+  UCR_REQUIRE(options.channel.is_clean(),
+              "the fair aggregate engines rest on a common-feedback "
+              "symmetry that imperfect channel models (channel/model.hpp) "
+              "break; non-clean cells run on the exact node engine — the "
+              "exp pipeline routes them there automatically");
   RunMetrics metrics;
   metrics.k = k;
   const std::uint64_t cap = options.resolved_cap(k);

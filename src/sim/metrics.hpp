@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "channel/model.hpp"
+
 namespace ucr {
 
 class SlotObserver;  // sim/observer.hpp
@@ -29,6 +31,14 @@ struct RunMetrics {
   /// Expected transmission count (sum of m*p over slots); filled by the
   /// O(1)-categorical fair engine where exact counts are not sampled.
   double expected_transmissions = 0.0;
+
+  /// Largest per-station transmission count of the run — the energy_max
+  /// statistic (docs/SCENARIOS.md). Exact for the per-station engines
+  /// (node): every station's attempts are counted, delivered and
+  /// still-active stations alike. The batched node engine counts only
+  /// materialized slots (a lower bound wherever a stretch is skipped);
+  /// the fair aggregate engines do not track stations and leave 0.
+  std::uint64_t max_station_transmissions = 0;
 
   /// Slot index of each delivery, in order (only when
   /// EngineOptions::record_deliveries is set).
@@ -77,6 +87,13 @@ struct EngineOptions {
   /// protocol it evaluates — uses false; the CD baselines (stack/tree
   /// algorithms) require true.
   bool collision_detection = false;
+  /// Per-slot channel behaviour (channel/model.hpp). Only the exact node
+  /// engine implements the non-clean models; the fair engines and the
+  /// batched fast paths require is_clean() and throw otherwise — the exp
+  /// pipeline routes non-clean grids onto the exact node engine at
+  /// compile() (exp/plan.cpp), where this field is derived from the
+  /// spec's channel axis, not read from the spec's engine_options.
+  ChannelModel channel;
   /// Optional per-slot hook (exact engines only — the batched fast paths
   /// never materialize skipped slots and throw if one is attached); not
   /// owned, may be null. See sim/observer.hpp.

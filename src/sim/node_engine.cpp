@@ -17,6 +17,9 @@ struct Station {
   std::unique_ptr<NodeProtocol> protocol;
   std::uint64_t arrival_slot = 0;
   bool transmitted_this_slot = false;
+  /// Transmission attempts so far — the per-station energy ledger behind
+  /// RunMetrics::max_station_transmissions.
+  std::uint64_t sent = 0;
 };
 
 }  // namespace
@@ -30,6 +33,7 @@ RunMetrics run_node_engine(const NodeFactory& factory,
   const std::uint64_t k = arrivals.size();
   UCR_REQUIRE(k > 0, "workload must contain at least one message");
 
+  options.channel.validate();
   RunMetrics metrics;
   metrics.k = k;
   const std::uint64_t cap = options.resolved_cap(k);
@@ -39,13 +43,21 @@ RunMetrics run_node_engine(const NodeFactory& factory,
   active.reserve(std::min<std::uint64_t>(k, 1u << 20));
   std::size_t next_arrival = 0;
 
+  // Fold a station's transmission count into the run's energy maximum —
+  // on delivery, and at the end of the run for still-active stations.
+  const auto fold_energy = [&](const Station& st) {
+    metrics.max_station_transmissions =
+        std::max(metrics.max_station_transmissions, st.sent);
+  };
+
   std::uint64_t last_delivery_slot = 0;
   while (metrics.deliveries < k && channel.now() < cap) {
     const std::uint64_t now = channel.now();
 
     // Activate stations whose message arrives at this slot.
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
-      active.push_back(Station{factory(rng), arrivals[next_arrival], false});
+      active.push_back(
+          Station{factory(rng), arrivals[next_arrival], false, 0});
       ++next_arrival;
     }
 
@@ -58,10 +70,17 @@ RunMetrics run_node_engine(const NodeFactory& factory,
                 "protocol produced a probability outside [0, 1]");
       probability_sum += p;
       st.transmitted_this_slot = rng.next_bernoulli(p);
-      transmitters += st.transmitted_this_slot ? 1 : 0;
+      if (st.transmitted_this_slot) {
+        ++st.sent;
+        ++transmitters;
+      }
     }
 
-    const SlotOutcome outcome = channel.resolve(transmitters);
+    // The channel model classifies the slot (clean draws no coins; jam
+    // and capture coins come from the engine's stream, after the
+    // per-station Bernoulli draws of this slot).
+    const SlotOutcome outcome = options.channel.resolve(now, transmitters, rng);
+    channel.record(outcome, transmitters);
 
     if (options.observer != nullptr) {
       // SlotView::probability is the mean per-station probability (0 with
@@ -75,16 +94,42 @@ RunMetrics run_node_engine(const NodeFactory& factory,
           SlotView{now, active.size(), mean_probability, outcome});
     }
 
-    // Feedback + deactivation of the successful transmitter.
+    // Who delivered? On the clean channel a success slot has exactly one
+    // transmitter. Under capture the slot can have several: the winner is
+    // uniform among them (i.i.d. fading ranks), drawn only then — the
+    // clean path consumes no extra randomness.
     std::size_t delivered_index = active.size();
+    if (outcome == SlotOutcome::kSuccess) {
+      UCR_CHECK(transmitters >= 1, "success slot without any transmitter");
+      std::uint64_t target =
+          transmitters == 1 ? 0 : rng.next_below(transmitters);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!active[i].transmitted_this_slot) continue;
+        if (target == 0) {
+          delivered_index = i;
+          break;
+        }
+        --target;
+      }
+    }
+
+    // Feedback. make_feedback covers the clean-channel observations; a
+    // captured slot adds the one case it cannot express — a transmitter
+    // that was NOT delivered during a success slot. Half-duplex radios
+    // cannot receive while transmitting, so such a station hears nothing
+    // (every flag false except its own `transmitted`), exactly like a
+    // collision without CD.
     for (std::size_t i = 0; i < active.size(); ++i) {
       auto& st = active[i];
-      const Feedback fb = make_feedback(outcome, st.transmitted_this_slot,
-                                        options.collision_detection);
-      st.protocol->on_slot_end(fb);
-      if (fb.delivered_mine) {
-        delivered_index = i;
+      Feedback fb;
+      if (outcome == SlotOutcome::kSuccess && st.transmitted_this_slot &&
+          i != delivered_index) {
+        fb.transmitted = true;
+      } else {
+        fb = make_feedback(outcome, st.transmitted_this_slot,
+                           options.collision_detection);
       }
+      st.protocol->on_slot_end(fb);
     }
     if (outcome == SlotOutcome::kSuccess) {
       UCR_CHECK(delivered_index < active.size(),
@@ -103,10 +148,14 @@ RunMetrics run_node_engine(const NodeFactory& factory,
         }
       }
       // Swap-remove; station order is irrelevant to the model.
+      fold_energy(active[delivered_index]);
       std::swap(active[delivered_index], active.back());
       active.pop_back();
     }
   }
+  // Incomplete runs (and stations that never drained): their energy
+  // spend counts too.
+  for (const Station& st : active) fold_energy(st);
 
   metrics.completed = metrics.deliveries == k;
   // Makespan is measured to the last delivery for completed runs (trailing
@@ -134,6 +183,11 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
   UCR_REQUIRE(options.observer == nullptr,
               "the batched engine never materializes skipped slots; per-slot "
               "observers require the exact engine");
+  UCR_REQUIRE(options.channel.is_clean(),
+              "the batched node engine's stationary-stretch certificates "
+              "assume the clean channel; imperfect channel models "
+              "(channel/model.hpp) require the exact node engine — the exp "
+              "pipeline routes non-clean grids there automatically");
 
   RunMetrics metrics;
   metrics.k = k;
@@ -148,6 +202,11 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
 
   std::uint64_t now = 0;
   std::uint64_t last_delivery_slot = 0;
+
+  const auto fold_energy = [&](const Station& st) {
+    metrics.max_station_transmissions =
+        std::max(metrics.max_station_transmissions, st.sent);
+  };
 
   // Shared success bookkeeping of the exact-slot and stretch paths.
   const auto finish_delivery = [&](std::size_t index) {
@@ -165,13 +224,15 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
         metrics.latencies.push_back(message_latency);
       }
     }
+    fold_energy(active[index]);
     std::swap(active[index], active.back());
     active.pop_back();
   };
 
   while (metrics.deliveries < k && now < cap) {
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
-      active.push_back(Station{factory(rng), arrivals[next_arrival], false});
+      active.push_back(
+          Station{factory(rng), arrivals[next_arrival], false, 0});
       ++next_arrival;
     }
 
@@ -223,7 +284,10 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
       std::uint64_t transmitters = 0;
       for (std::size_t i = 0; i < active.size(); ++i) {
         active[i].transmitted_this_slot = rng.next_bernoulli(probs[i]);
-        transmitters += active[i].transmitted_this_slot ? 1 : 0;
+        if (active[i].transmitted_this_slot) {
+          ++active[i].sent;
+          ++transmitters;
+        }
       }
       const SlotOutcome outcome = resolve_outcome(transmitters);
       metrics.transmissions += transmitters;
@@ -311,6 +375,7 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
                 "failed to attribute the success slot to a transmitter");
     }
     ++metrics.transmissions;
+    ++active[chosen].sent;
     for (std::size_t i = 0; i < active.size(); ++i) {
       const Feedback fb = make_feedback(SlotOutcome::kSuccess, i == chosen,
                                         options.collision_detection);
@@ -319,6 +384,7 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     finish_delivery(chosen);
     ++now;
   }
+  for (const Station& st : active) fold_energy(st);
 
   metrics.completed = metrics.deliveries == k;
   metrics.slots = metrics.completed ? last_delivery_slot + 1 : cap;

@@ -29,6 +29,8 @@ constexpr const char* kHeader[] = {
     "latency_p50",
     "latency_p95",
     "latency_p99",
+    "energy_mean",
+    "energy_max",
     "spec_hash",
 };
 constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
@@ -69,6 +71,8 @@ AggregateRow AggregateRow::from(const AggregateResult& result) {
   row.latency_p50 = result.latency_p50;
   row.latency_p95 = result.latency_p95;
   row.latency_p99 = result.latency_p99;
+  row.energy_mean = result.energy_mean;
+  row.energy_max = result.energy_max;
   return row;
 }
 
@@ -93,7 +97,9 @@ void write_aggregate_row(std::ostream& os, const AggregateRow& r) {
                     format_double(r.mean_ratio, 6),
                     format_double(r.latency_p50, 6),
                     format_double(r.latency_p95, 6),
-                    format_double(r.latency_p99, 6), r.spec_hash});
+                    format_double(r.latency_p99, 6),
+                    format_double(r.energy_mean, 6),
+                    format_double(r.energy_max, 6), r.spec_hash});
 }
 
 void write_aggregate_csv(std::ostream& os,
@@ -166,7 +172,9 @@ std::vector<AggregateRow> read_aggregate_csv(std::istream& is) {
     row.latency_p50 = parse_double(cells[13]);
     row.latency_p95 = parse_double(cells[14]);
     row.latency_p99 = parse_double(cells[15]);
-    row.spec_hash = cells[16];
+    row.energy_mean = parse_double(cells[16]);
+    row.energy_max = parse_double(cells[17]);
+    row.spec_hash = cells[18];
     rows.push_back(std::move(row));
   }
   return rows;

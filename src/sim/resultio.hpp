@@ -35,6 +35,11 @@ struct AggregateRow {
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  /// Energy accounting (AggregateResult::energy_mean / energy_max, see
+  /// docs/SCENARIOS.md): mean per-station transmissions per run, and the
+  /// worst single station's count across runs (0 on the fair engines).
+  double energy_mean = 0.0;
+  double energy_max = 0.0;
   /// Provenance: content hash of the canonical spec text
   /// (ucr::exp::spec_hash) when the row was emitted by the exp pipeline's
   /// streaming sinks; empty for rows assembled by hand. Shard-invariant,

@@ -17,6 +17,7 @@ AggregateResult aggregate_runs(std::string name, std::uint64_t k,
   std::vector<double> latencies;
   makespans.reserve(runs.size());
   ratios.reserve(runs.size());
+  double energy_sum = 0.0;
   for (const RunMetrics& m : runs) {
     if (!m.completed) ++result.incomplete_runs;
     makespans.push_back(static_cast<double>(m.slots));
@@ -24,6 +25,19 @@ AggregateResult aggregate_runs(std::string name, std::uint64_t k,
     for (const std::uint64_t latency : m.latencies) {
       latencies.push_back(static_cast<double>(latency));
     }
+    // Per-station energy: exact transmission counts where the engine
+    // sampled them, the expected count otherwise (a completed run always
+    // has transmissions >= k > 0 when counted exactly).
+    const double total_tx = m.transmissions > 0
+                                ? static_cast<double>(m.transmissions)
+                                : m.expected_transmissions;
+    energy_sum += total_tx / static_cast<double>(m.k);
+    result.energy_max =
+        std::max(result.energy_max,
+                 static_cast<double>(m.max_station_transmissions));
+  }
+  if (!runs.empty()) {
+    result.energy_mean = energy_sum / static_cast<double>(runs.size());
   }
   result.makespan = summarize(makespans);
   result.ratio = summarize(ratios);

@@ -49,6 +49,17 @@ struct AggregateResult {
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
+  /// Energy accounting (docs/SCENARIOS.md): mean transmissions per
+  /// station per run, averaged over runs — exact counts where the engine
+  /// samples them (node engines, window engine), the expected count
+  /// otherwise (the O(1)-categorical fair engine). The GreenPod-style
+  /// per-station budget view of the same sweeps.
+  double energy_mean = 0.0;
+  /// Max over runs of the run's largest per-station transmission count
+  /// (RunMetrics::max_station_transmissions). Exact on the exact node
+  /// engine; a materialized-slots lower bound on the batched node engine;
+  /// 0 on the fair engines, which do not track stations.
+  double energy_max = 0.0;
   std::vector<RunMetrics> details;    ///< one entry per run
 };
 

@@ -1,0 +1,72 @@
+// Docs drift gate for docs/SCENARIOS.md: the page promises one section
+// per live arrival keyword (ArrivalSpec::kind_names()) and one per live
+// channel keyword (ChannelModel::kind_names()) — add a kind to either
+// registry and this test fails until the reference documents it. README
+// and docs/ARCHITECTURE.md must link the page.
+//
+// UCR_REPO_ROOT is injected by tests/CMakeLists.txt so the test is
+// independent of the ctest working directory.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "channel/model.hpp"
+#include "exp/spec.hpp"
+
+namespace ucr {
+namespace {
+
+std::string read_repo_file(const std::string& relative) {
+  const std::string path = std::string(UCR_REPO_ROOT) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ScenariosDoc, EveryArrivalKindHasASection) {
+  const std::string doc = read_repo_file("docs/SCENARIOS.md");
+  ASSERT_FALSE(doc.empty());
+  for (const std::string& kind : exp::ArrivalSpec::kind_names()) {
+    const std::string heading = "## " + kind + "\n";
+    EXPECT_NE(doc.find(heading), std::string::npos)
+        << "docs/SCENARIOS.md is missing a '## " << kind
+        << "' section for live arrival kind '" << kind << "'";
+  }
+}
+
+TEST(ScenariosDoc, EveryChannelKindHasASection) {
+  const std::string doc = read_repo_file("docs/SCENARIOS.md");
+  ASSERT_FALSE(doc.empty());
+  for (const std::string& kind : ChannelModel::kind_names()) {
+    const std::string heading = "## " + kind + "\n";
+    EXPECT_NE(doc.find(heading), std::string::npos)
+        << "docs/SCENARIOS.md is missing a '## " << kind
+        << "' section for live channel kind '" << kind << "'";
+  }
+}
+
+TEST(ScenariosDoc, DocumentsTheRoutingAndEnergyContracts) {
+  // The engine matrix and the energy columns are the page's two
+  // behavioural promises; they must keep naming the real entities.
+  const std::string doc = read_repo_file("docs/SCENARIOS.md");
+  EXPECT_NE(doc.find("Engine support matrix"), std::string::npos);
+  EXPECT_NE(doc.find("energy_mean"), std::string::npos);
+  EXPECT_NE(doc.find("energy_max"), std::string::npos);
+  EXPECT_NE(doc.find("max_station_transmissions"), std::string::npos);
+}
+
+TEST(ScenariosDoc, ReadmeAndArchitectureLinkThePage) {
+  EXPECT_NE(read_repo_file("README.md").find("docs/SCENARIOS.md"),
+            std::string::npos)
+      << "README.md must link docs/SCENARIOS.md";
+  EXPECT_NE(read_repo_file("docs/ARCHITECTURE.md").find("SCENARIOS.md"),
+            std::string::npos)
+      << "docs/ARCHITECTURE.md must link SCENARIOS.md";
+}
+
+}  // namespace
+}  // namespace ucr

@@ -46,7 +46,14 @@ TEST(SpecIo, FullyPopulatedSpecRoundTripsExactly) {
       .with_ks({10, 500, 123456})
       .with_arrival(ArrivalSpec::batch())
       .with_arrival(ArrivalSpec::poisson(0.1))
-      .with_arrival(ArrivalSpec::burst(7, 129));
+      .with_arrival(ArrivalSpec::burst(7, 129))
+      .with_arrival(ArrivalSpec::schedule({0, 0, 4, 4, 90}))
+      .with_arrival(ArrivalSpec::mmpp(0.75, 0.01, 64))
+      .with_arrival(ArrivalSpec::pareto(1.25, 2.5))
+      .with_channel(ChannelModel::clean())
+      .with_channel(ChannelModel::capture(0.35))
+      .with_channel(ChannelModel::jamming(0.05))
+      .with_channel(ChannelModel::jam_burst(24, 6));
   file.spec.runs = 42;
   file.spec.seed = 99;
   file.spec.engine = EngineMode::kNodeBatched;
@@ -95,16 +102,52 @@ TEST(SpecIo, RandomizedSpecsRoundTripExactly) {
       file.spec.k_max = 10 + u64(10000000);
     }
     for (std::uint64_t i = 0, n = u64(4); i < n; ++i) {
-      switch (u64(3)) {
+      switch (u64(6)) {
         case 0:
           file.spec.with_arrival(ArrivalSpec::batch());
           break;
         case 1:
           file.spec.with_arrival(ArrivalSpec::poisson(rng.next_double()));
           break;
-        default:
+        case 2:
           file.spec.with_arrival(
               ArrivalSpec::burst(1 + u64(16), u64(1000)));
+          break;
+        case 3: {
+          std::vector<std::uint64_t> slots;
+          std::uint64_t slot = 0;
+          for (std::uint64_t s = 0, m = 1 + u64(6); s < m; ++s) {
+            slot += u64(20);  // non-decreasing by construction
+            slots.push_back(slot);
+          }
+          file.spec.with_arrival(ArrivalSpec::schedule(std::move(slots)));
+          break;
+        }
+        case 4:
+          file.spec.with_arrival(ArrivalSpec::mmpp(
+              rng.next_double() + 1e-9, rng.next_double(), 1 + u64(500)));
+          break;
+        default:
+          file.spec.with_arrival(ArrivalSpec::pareto(
+              rng.next_double() + 1e-9, rng.next_double() + 1e-9));
+      }
+    }
+    for (std::uint64_t i = 0, n = u64(3); i < n; ++i) {
+      switch (u64(4)) {
+        case 0:
+          file.spec.with_channel(ChannelModel::clean());
+          break;
+        case 1:
+          file.spec.with_channel(ChannelModel::capture(rng.next_double()));
+          break;
+        case 2:
+          file.spec.with_channel(ChannelModel::jamming(rng.next_double()));
+          break;
+        default: {
+          const std::uint64_t period = 1 + u64(64);
+          file.spec.with_channel(
+              ChannelModel::jam_burst(period, u64(period + 1)));
+        }
       }
     }
     file.spec.runs = 1 + u64(100);
@@ -203,6 +246,51 @@ TEST(SpecIo, RejectsMalformedInput) {
       ContractViolation);
   EXPECT_THROW((void)parse_spec("spec_version = 1\nthreads = -2\n"),
                ContractViolation);
+  // New-kind parameter validation fires at parse time too.
+  EXPECT_THROW((void)parse_spec("spec_version = 1\narrival = schedule()\n"),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)parse_spec("spec_version = 1\narrival = mmpp(0,0.1,10)\n"),
+      ContractViolation);
+  EXPECT_THROW(
+      (void)parse_spec("spec_version = 1\narrival = mmpp(0.5,0.1)\n"),
+      ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\narrival = pareto(1.5,0)\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_spec("spec_version = 1\nchannel = capture(1.5)\n"),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)parse_spec("spec_version = 1\nchannel = jam_burst(4,5)\n"),
+      ContractViolation);
+  // channel repeats like arrival.
+  EXPECT_NO_THROW((void)parse_spec(
+      "spec_version = 1\nchannel = clean\nchannel = capture(0.5)\n"));
+}
+
+TEST(SpecIo, MalformedAdversarialSchedulesFailLoudlyWithLineNumbers) {
+  // An unsorted schedule is the classic hand-editing mistake; the error
+  // names the offending slot, its position, and the spec line.
+  const std::string what = what_of([] {
+    (void)parse_spec(
+        "spec_version = 1\n"
+        "runs = 2\n"
+        "arrival = schedule(0,5,3,9)\n");
+  });
+  EXPECT_NE(what.find("spec line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("non-decreasing"), std::string::npos) << what;
+  EXPECT_NE(what.find("slot 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("position 2"), std::string::npos) << what;
+
+  const std::string junk = what_of([] {
+    (void)parse_spec("spec_version = 1\narrival = schedule(0,x,2)\n");
+  });
+  EXPECT_NE(junk.find("spec line 2"), std::string::npos) << junk;
+
+  const std::string chan = what_of([] {
+    (void)parse_spec("spec_version = 1\nchannel = capturr(0.5)\n");
+  });
+  EXPECT_NE(chan.find("spec line 2"), std::string::npos) << chan;
+  EXPECT_NE(chan.find("capture"), std::string::npos) << chan;
 }
 
 TEST(SpecIo, ThreadsZeroMeansAllHardwareThreads) {

@@ -70,6 +70,8 @@ TEST(ResultIo, RoundTripPreservesRows) {
   rows[0].latency_p50 = 12.5;
   rows[0].latency_p95 = 91.25;
   rows[0].latency_p99 = 140.125;
+  rows[0].energy_mean = 3.625;
+  rows[0].energy_max = 17;
   rows[0].spec_hash = "2eed288eb0fae51d";
   rows[1].protocol = "Log-Fails Adaptive (2)";  // name with parentheses
   rows[1].k = 100;
@@ -96,6 +98,8 @@ TEST(ResultIo, RoundTripPreservesRows) {
   EXPECT_NEAR(back[0].latency_p50, rows[0].latency_p50, 1e-5);
   EXPECT_NEAR(back[0].latency_p95, rows[0].latency_p95, 1e-5);
   EXPECT_NEAR(back[0].latency_p99, rows[0].latency_p99, 1e-5);
+  EXPECT_NEAR(back[0].energy_mean, rows[0].energy_mean, 1e-5);
+  EXPECT_NEAR(back[0].energy_max, rows[0].energy_max, 1e-5);
   EXPECT_EQ(back[0].spec_hash, rows[0].spec_hash);
   EXPECT_EQ(back[1].incomplete_runs, 1u);
   EXPECT_EQ(back[1].protocol, rows[1].protocol);
@@ -133,18 +137,19 @@ TEST(ResultIo, RejectsGarbage) {
   std::stringstream bad_cols(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
       "p75,p95,max,mean_ratio,latency_p50,latency_p95,latency_p99,"
-      "spec_hash\nX,1,2\n");
+      "energy_mean,energy_max,spec_hash\nX,1,2\n");
   EXPECT_THROW(read_aggregate_csv(bad_cols), ContractViolation);
 
   std::stringstream bad_number(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
       "p75,p95,max,mean_ratio,latency_p50,latency_p95,latency_p99,"
-      "spec_hash\nX,abc,2,0,1,1,1,1,1,1,1,1,1,0,0,0,h\n");
+      "energy_mean,energy_max,spec_hash\nX,abc,2,0,1,1,1,1,1,1,1,1,1,0,0,0,"
+      "0,0,h\n");
   EXPECT_THROW(read_aggregate_csv(bad_number), ContractViolation);
 
   // Superseded formats are rejected loudly, not misread: the
-  // pre-percentile 9-column layout and the pre-latency/provenance
-  // 13-column layout.
+  // pre-percentile 9-column layout, the pre-latency/provenance 13-column
+  // layout, and the pre-energy 17-column layout.
   std::stringstream nine_columns(
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,max,"
       "mean_ratio\nX,1,2,0,1,1,1,1,1\n");
@@ -153,6 +158,11 @@ TEST(ResultIo, RejectsGarbage) {
       "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
       "p75,p95,max,mean_ratio\nX,1,2,0,1,1,1,1,1,1,1,1,1\n");
   EXPECT_THROW(read_aggregate_csv(thirteen_columns), ContractViolation);
+  std::stringstream seventeen_columns(
+      "protocol,k,runs,incomplete_runs,mean_makespan,stddev,min,p25,median,"
+      "p75,p95,max,mean_ratio,latency_p50,latency_p95,latency_p99,"
+      "spec_hash\nX,1,2,0,1,1,1,1,1,1,1,1,1,0,0,0,h\n");
+  EXPECT_THROW(read_aggregate_csv(seventeen_columns), ContractViolation);
 }
 
 TEST(ResultIo, SkipsBlankLines) {

@@ -11,7 +11,10 @@ Three checks, all hard failures:
    (inline code included, not just markdown links) must exist — the
    runbook is written around `ucr_cli --spec=...`, so a renamed or
    deleted catalogue file must fail the docs job.
-3. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
+3. The reverse: every `specs/*.spec` file on disk must be referenced
+   from at least one of those documents — an undocumented sweep is a
+   sweep nobody will run.
+4. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
    prints must appear as a `## <name>` section heading in
    docs/PROTOCOLS.md — the same contract the tier-1 drift test
    (tests/docs/protocols_doc_test.cpp) enforces, re-checked here from
@@ -72,6 +75,25 @@ def check_spec_refs(root: pathlib.Path) -> list[str]:
     return errors
 
 
+def check_spec_coverage(root: pathlib.Path) -> list[str]:
+    """Every specs/*.spec file on disk must be referenced from >= 1 doc."""
+    specs_dir = root / "specs"
+    if not specs_dir.is_dir():
+        return []
+    referenced = set()
+    for doc in iter_doc_files(root):
+        referenced.update(SPEC_REF_RE.findall(
+            doc.read_text(encoding="utf-8")))
+    errors = []
+    for spec in sorted(specs_dir.glob("*.spec")):
+        if f"specs/{spec.name}" not in referenced:
+            errors.append(
+                f"specs/{spec.name}: not referenced from any document "
+                "(README.md, EXPERIMENTS.md, specs/README.md, docs/*.md)"
+            )
+    return errors
+
+
 def registered_names(cli: str) -> list[str]:
     out = subprocess.run(
         [cli, "--list"], check=True, capture_output=True, text=True
@@ -119,7 +141,8 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    errors = check_links(root) + check_spec_refs(root)
+    errors = (check_links(root) + check_spec_refs(root)
+              + check_spec_coverage(root))
     if args.cli:
         try:
             errors += check_protocol_catalog(root, args.cli)
@@ -132,7 +155,7 @@ def main() -> int:
         print(f"FAIL: {error}")
     if errors:
         return 1
-    checked = "links + spec refs" + (
+    checked = "links + spec refs + spec coverage" + (
         " + protocol catalog" if args.cli else ""
     )
     print(f"docs check ok ({checked})")

@@ -76,13 +76,24 @@ int usage(const std::string& error) {
          "                    RNG path; batched also accelerates non-batch\n"
          "                    cells via the batched per-station engine), or\n"
          "                    the exact/batched per-station engine\n"
-         "  --arrivals=LIST   per-cell workloads, comma-separated from\n"
-         "                    batch|poisson|burst (default batch;\n"
-         "                    non-batch cells run per-station)\n"
+         "  --arrivals=LIST   per-cell workloads, comma-separated (commas\n"
+         "                    inside parentheses group arguments): bare\n"
+         "                    batch|poisson|burst shaped by the flags\n"
+         "                    below, or any spec-file arrival expression —\n"
+         "                    poisson(<lambda>), burst(<bursts>,<gap>),\n"
+         "                    schedule(<slot>,...), mmpp(<hi>,<lo>,<dwell>),\n"
+         "                    pareto(<alpha>,<xm>) (docs/SCENARIOS.md;\n"
+         "                    default batch; non-batch cells run\n"
+         "                    per-station)\n"
          "  --lambda=X        Poisson arrival rate in msg/slot (default\n"
          "                    0.1; fresh pattern per run)\n"
          "  --bursts=N --gap=N  burst workload shape (default 4 bursts,\n"
          "                    gap 64)\n"
+         "  --channel=LIST    per-cell channel models, comma-separated\n"
+         "                    (parentheses group): clean, capture(<p>),\n"
+         "                    jamming(<q>), jam_burst(<period>,<len>)\n"
+         "                    (default clean; non-clean cells run on the\n"
+         "                    exact node engine — docs/SCENARIOS.md)\n"
          "  --max-slots=N     slot cap (default: engine default)\n"
          "  --shard=i/N       run shard i of N (contiguous cell block of\n"
          "                    the flattened grid; concatenating the CSV or\n"
@@ -108,6 +119,31 @@ std::vector<std::string> split_list(const std::string& text) {
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
+  return items;
+}
+
+/// Splits a comma-separated list whose items may carry parenthesized
+/// argument lists — "batch,mmpp(0.5,0.01,100)" is two items, not four.
+/// Only commas at parenthesis depth zero separate items.
+std::vector<std::string> split_expr_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::string current;
+  int depth = 0;
+  for (const char ch : text) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    UCR_REQUIRE(depth >= 0, "unbalanced ')' in list '" + text + "'");
+    if (ch == ',' && depth == 0) {
+      UCR_REQUIRE(!current.empty(), "empty item in list '" + text + "'");
+      items.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  UCR_REQUIRE(depth == 0, "unbalanced '(' in list '" + text + "'");
+  UCR_REQUIRE(!current.empty(), "empty item in list '" + text + "'");
+  items.push_back(std::move(current));
   return items;
 }
 
@@ -188,7 +224,7 @@ int run_spec(const ucr::CliArgs& args) {
     const double lambda = args.get_double("lambda", 0.1);
     const std::uint64_t bursts = args.get_u64("bursts", 4);
     const std::uint64_t gap = args.get_u64("gap", 64);
-    for (const auto& kind : split_list(*arrivals)) {
+    for (const auto& kind : split_expr_list(*arrivals)) {
       if (kind == "batch") {
         spec.with_arrival(ucr::exp::ArrivalSpec::batch());
       } else if (kind == "poisson") {
@@ -196,8 +232,9 @@ int run_spec(const ucr::CliArgs& args) {
       } else if (kind == "burst") {
         spec.with_arrival(ucr::exp::ArrivalSpec::burst(bursts, gap));
       } else {
-        return usage("unknown --arrivals kind '" + kind +
-                     "' (batch, poisson or burst)");
+        // Full spec-file expression syntax — schedule(...), mmpp(...),
+        // pareto(...), or an explicitly parameterized poisson/burst.
+        spec.with_arrival(ucr::exp::ArrivalSpec::parse(kind));
       }
     }
   } else if (args.get("lambda") || args.get("bursts") || args.get("gap")) {
@@ -205,6 +242,14 @@ int run_spec(const ucr::CliArgs& args) {
         "--lambda/--bursts/--gap only shape cells built by --arrivals; to "
         "override a spec file's arrival cells, restate the list (e.g. "
         "--arrivals=poisson --lambda=0.9)");
+  }
+
+  // Channel axis: an explicit --channel list replaces the file's cells.
+  if (const auto channel = args.get("channel")) {
+    spec.channels.clear();
+    for (const auto& item : split_expr_list(*channel)) {
+      spec.with_channel(ucr::ChannelModel::parse(item));
+    }
   }
 
   if (args.get("max-slots")) {
@@ -288,7 +333,8 @@ int run_spec(const ucr::CliArgs& args) {
     std::cout << result.protocol << " on k = " << result.k << " ("
               << spec.runs << " runs, seed " << spec.seed << ", "
               << ucr::exp::engine_mode_name(cell.engine) << " engine, "
-              << cell.arrival.label() << " arrivals";
+              << cell.arrival.label() << " arrivals, "
+              << cell.channel.label() << " channel";
     if (!plan.shard.is_whole()) std::cout << ", shard " << plan.shard.label();
     std::cout << ")\n\n";
     ucr::Table table({"metric", "value"});
@@ -314,12 +360,12 @@ int run_spec(const ucr::CliArgs& args) {
   }
   std::cout << ", " << spec.runs << " runs per cell, seed " << spec.seed
             << "\n\n";
-  ucr::Table table({"protocol", "k", "arrivals", "engine", "mean makespan",
-                    "ci95", "ratio", "incomplete"});
+  ucr::Table table({"protocol", "k", "arrivals", "channel", "engine",
+                    "mean makespan", "ci95", "ratio", "incomplete"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& result = results[i];
     table.add_row({result.protocol, std::to_string(result.k),
-                   cells[i].arrival.label(),
+                   cells[i].arrival.label(), cells[i].channel.label(),
                    ucr::exp::engine_mode_name(cells[i].engine),
                    ucr::format_double(result.makespan.mean, 1),
                    ucr::format_double(result.makespan.ci95_halfwidth, 1),
@@ -336,8 +382,8 @@ int run_cli(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
                           {"spec", "dump-spec", "protocol", "protocols", "k",
                            "ks", "kmax", "runs", "seed", "engine", "arrivals",
-                           "lambda", "bursts", "gap", "max-slots", "shard",
-                           "threads", "csv", "format", "list"});
+                           "lambda", "bursts", "gap", "channel", "max-slots",
+                           "shard", "threads", "csv", "format", "list"});
   if (args.get_bool("list", false)) return list_protocols();
   return run_spec(args);
 }
