@@ -1,23 +1,6 @@
 #include "common/rng.hpp"
 
-#include "common/check.hpp"
-
 namespace ucr {
-
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
-std::uint64_t splitmix64_next(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
 
 std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
   // Feed both words through splitmix64 sequentially; the result depends
@@ -42,45 +25,6 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
 
 Xoshiro256 Xoshiro256::stream(std::uint64_t seed, std::uint64_t stream_id) {
   return Xoshiro256(mix64(seed, stream_id));
-}
-
-std::uint64_t Xoshiro256::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Xoshiro256::next_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
-  UCR_REQUIRE(bound > 0, "next_below requires a positive bound");
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-bool Xoshiro256::next_bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 void Xoshiro256::jump() {

@@ -5,21 +5,62 @@
 // and reproducibility of every experiment byte-for-byte across standard
 // libraries is a design requirement (EXPERIMENTS.md records exact numbers).
 //
-// Generator: xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64 per
-// the authors' recommendation. Independent streams for multi-run experiments
-// are derived with `Xoshiro256::stream(seed, stream_id)`, which seeds a fresh
-// splitmix64 from a mixed (seed, stream_id) pair; streams are therefore
-// statistically independent for all practical purposes.
+// Two generators, one stream-derivation rule:
+//
+//  * Xoshiro256 — xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64
+//    per the authors' recommendation. The sequential workhorse of the
+//    engines; every historical pinned number in EXPERIMENTS.md was drawn
+//    from it.
+//  * CounterRng — a counter-based generator (splitmix64 applied to
+//    key + counter * golden-gamma): the n-th output is a pure function of
+//    (key, n), so draws can be generated in bulk with no loop-carried
+//    dependency (SIMD-friendly), random-accessed, and replayed from any
+//    offset. CounterRng(seed) emits exactly the splitmix64 sequence for
+//    initial state `seed`, which pins it to the published reference vectors.
+//
+// Independent streams for multi-run experiments are derived identically for
+// both: `stream(seed, stream_id)` strongly mixes the (seed, stream_id) pair
+// with mix64 and uses the result as the seed/key, so the two generators
+// share one substream-exclusion contract (docs/ARCHITECTURE.md).
+//
+// The per-draw methods are defined inline here on purpose: the engines call
+// them hundreds of millions of times per run, and an out-of-line call per
+// draw costs more than the draw itself.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+
+#include "common/check.hpp"
 
 namespace ucr {
 
+namespace detail {
+
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace detail
+
+/// splitmix64's golden-ratio increment.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// splitmix64's output finalizer: the bijective mix applied to the state
+/// after the gamma step. Exposed because CounterRng's output function is
+/// exactly this mix over (key + counter * gamma).
+inline std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// splitmix64 step: returns the next output and advances `state`.
 /// Used for seeding and as a small standalone mixer.
-std::uint64_t splitmix64_next(std::uint64_t& state);
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  return splitmix64_mix(state += kSplitMix64Gamma);
+}
 
 /// Stateless mix of two 64-bit values into one (for stream derivation).
 std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
@@ -44,17 +85,60 @@ class Xoshiro256 {
   static Xoshiro256 stream(std::uint64_t seed, std::uint64_t stream_id);
 
   /// Next 64 uniformly random bits.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = detail::rotl64(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = detail::rotl64(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double next_double();
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
   /// Requires bound > 0.
-  std::uint64_t next_below(std::uint64_t bound);
+  std::uint64_t next_below(std::uint64_t bound) {
+    UCR_REQUIRE(bound > 0, "next_below requires a positive bound");
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool next_bernoulli(double p);
+  /// Consumes no randomness for p outside (0, 1) — protocols emit exact
+  /// 0s and 1s (window choices), and those slots must stay draw-free.
+  bool next_bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Bulk draws: identical to n sequential next_u64 / next_double calls
+  /// (same outputs, same state advance), in one tight loop the optimizer
+  /// can keep entirely in registers.
+  void fill_u64(std::uint64_t* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next_u64();
+  }
+  void fill_double(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next_double();
+  }
 
   /// Jump function: advances the state by 2^128 steps (for manual stream
   /// splitting; `stream()` is usually more convenient).
@@ -70,6 +154,124 @@ class Xoshiro256 {
 
  private:
   std::array<std::uint64_t, 4> s_;
+};
+
+/// Counter-based PRNG: output(n) = splitmix64_mix(key + (n + 1) * gamma).
+///
+/// The n-th draw is a pure function of (key, counter), which buys three
+/// things Xoshiro256's sequential state cannot:
+///
+///  * bulk generation with no loop-carried dependency — fill_u64 /
+///    fill_double auto-vectorize, feeding the SoA engine paths;
+///  * O(1) random access (`at`) and repositioning (`seek`) — a parallel
+///    worker can jump straight to its slice of a shared logical stream;
+///  * trivially serializable state: (key, counter) is 16 bytes.
+///
+/// CounterRng(seed) reproduces the splitmix64 output sequence for initial
+/// state `seed` exactly, so the published splitmix64 reference vectors pin
+/// this generator cross-platform (tests/common/rng_test.cpp). Statistical
+/// quality is splitmix64's: equidistributed 64-bit outputs, fine for
+/// simulation draws, not for cryptography.
+///
+/// Stream derivation mirrors Xoshiro256: `stream(seed, stream_id)` keys the
+/// generator with mix64(seed, stream_id). Keys are therefore scrambled —
+/// two distinct (seed, stream_id) pairs land on sequence-overlapping keys
+/// (key' = key + m * gamma for small |m|) only with birthday-bound
+/// probability.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Keys the generator directly; draws start at counter 0.
+  explicit CounterRng(std::uint64_t key = Xoshiro256::kDefaultSeed)
+      : key_(key) {}
+
+  /// Derives an independent stream from (seed, stream_id), with the same
+  /// mix64 derivation rule as Xoshiro256::stream.
+  static CounterRng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    return CounterRng(mix64(seed, stream_id));
+  }
+
+  /// The `index`-th output (0-based) of the stream keyed by `key`, as a
+  /// pure function — what fill_u64 and next_u64 are defined in terms of.
+  static std::uint64_t draw(std::uint64_t key, std::uint64_t index) {
+    return splitmix64_mix(key + (index + 1) * kSplitMix64Gamma);
+  }
+
+  /// Next 64 uniformly random bits; advances the counter by one.
+  std::uint64_t next_u64() { return draw(key_, counter_++); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    UCR_REQUIRE(bound > 0, "next_below requires a positive bound");
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]);
+  /// draw-free outside (0, 1), matching Xoshiro256::next_bernoulli.
+  bool next_bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Bulk draws: identical to n sequential next_u64 / next_double calls.
+  /// Each output depends only on (key, counter + i), so the loop has no
+  /// carried dependency and vectorizes.
+  void fill_u64(std::uint64_t* out, std::size_t n) {
+    const std::uint64_t base = counter_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = draw(key_, base + i);
+    }
+    counter_ = base + n;
+  }
+  void fill_double(double* out, std::size_t n) {
+    const std::uint64_t base = counter_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<double>(draw(key_, base + i) >> 11) * 0x1.0p-53;
+    }
+    counter_ = base + n;
+  }
+
+  /// Random access without advancing: the output `offset` draws ahead of
+  /// the current position.
+  std::uint64_t at(std::uint64_t offset) const {
+    return draw(key_, counter_ + offset);
+  }
+
+  /// Repositions the stream: the next draw will be output number `counter`
+  /// (0-based) of this key's sequence.
+  void seek(std::uint64_t counter) { counter_ = counter; }
+
+  std::uint64_t key() const { return key_; }
+  /// Number of draws consumed so far (equivalently: the next draw's index).
+  std::uint64_t counter() const { return counter_; }
+
+  // std::uniform_random_bit_generator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_ = 0;
 };
 
 }  // namespace ucr

@@ -16,6 +16,8 @@
 //    otherwise — exact, O(1) expected work.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -49,6 +51,50 @@ std::uint64_t sample_geometric_failures(Xoshiro256& rng, double p,
 /// Exact Poisson(lambda) sample (inversion for small lambda, split-and-sum
 /// recursion for large lambda). Used by the dynamic-arrival workload.
 std::uint64_t sample_poisson(Xoshiro256& rng, double lambda);
+
+/// Bulk uniform bounded draws: fills out[0..n) with values in [0, bound),
+/// consuming the generator's u64 stream exactly as n sequential
+/// next_below(bound) calls would (same outputs, same state advance) — the
+/// SoA window paths of the batched fair engine draw whole per-station
+/// choice arrays through this instead of one call per station, and the
+/// bit-identity of the batched engine's pinned outputs survives because
+/// the consumption order is unchanged.
+///
+/// Works for any generator with fill_u64/next_u64 (Xoshiro256, CounterRng).
+/// Requires bound > 0.
+template <typename Rng>
+void fill_uniform_below(Rng& rng, std::uint64_t bound, std::uint64_t* out,
+                        std::size_t n) {
+  UCR_REQUIRE(bound > 0, "fill_uniform_below requires a positive bound");
+  // Lemire's unbiased bounded generation over a prefetched block of raw
+  // u64s. Each round fetches exactly one u64 per still-needed output; the
+  // rare rejection retries consume the following buffered values (the
+  // buffer is a stream prefix, so order is preserved), falling back to
+  // direct draws when the block is drained, and the shortfall of outputs
+  // is covered by the next round.
+  constexpr std::size_t kChunk = 2048;
+  std::uint64_t buf[kChunk];
+  std::size_t produced = 0;
+  while (produced < n) {
+    const std::size_t chunk = std::min(n - produced, kChunk);
+    rng.fill_u64(buf, chunk);
+    std::size_t bi = 0;
+    while (bi < chunk) {
+      std::uint64_t x = buf[bi++];
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto lo = static_cast<std::uint64_t>(m);
+      if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+          x = bi < chunk ? buf[bi++] : rng.next_u64();
+          m = static_cast<__uint128_t>(x) * bound;
+          lo = static_cast<std::uint64_t>(m);
+        }
+      }
+      out[produced++] = static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
 
 namespace detail {
 /// Inversion sampler; exposed for targeted unit tests. Requires

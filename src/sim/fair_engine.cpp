@@ -254,6 +254,24 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
   std::vector<std::uint64_t> choices;  // sorted-walk path: chosen offsets
   std::vector<std::uint64_t> seen;     // bitmap path: offset occupied
   std::vector<std::uint64_t> twice;    // bitmap path: offset occupied >= 2x
+
+  // Per-station slot choices are drawn in bulk (fill_uniform_below) into a
+  // fixed-size block, then scattered into the path's occupancy structure —
+  // two tight loops instead of one interleaved RNG-call-per-station loop,
+  // with the identical u64 consumption order (bit-identical outputs). The
+  // block caps the transient memory at 32 KiB regardless of pending size.
+  constexpr std::size_t kChoiceBlock = 4096;
+  std::vector<std::uint64_t> choice_buf(kChoiceBlock);
+  const auto for_each_choice = [&](std::uint64_t window, std::uint64_t count,
+                                   auto&& body) {
+    for (std::uint64_t done = 0; done < count;) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(count - done, kChoiceBlock));
+      fill_uniform_below(rng, window, choice_buf.data(), chunk);
+      for (std::size_t i = 0; i < chunk; ++i) body(choice_buf[i]);
+      done += chunk;
+    }
+  };
   while (m > 0 && metrics.slots < cap) {
     const std::uint64_t window = schedule.next_window_slots();
     UCR_CHECK(window >= 1, "window schedule produced an empty window");
@@ -304,13 +322,12 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
       // distinguishes {0, 1, >= 2}, and transmissions are counted at draw
       // time.
       counts.assign(static_cast<std::size_t>(usable), 0);
-      for (std::uint64_t i = 0; i < pending; ++i) {
-        const std::uint64_t c = rng.next_below(window);
-        if (c >= usable) continue;
+      for_each_choice(window, pending, [&](std::uint64_t c) {
+        if (c >= usable) return;
         ++metrics.transmissions;
         std::uint8_t& count = counts[static_cast<std::size_t>(c)];
         if (count != 255) ++count;
-      }
+      });
       for (std::uint64_t j = 0; j < usable; ++j) {
         const std::uint8_t n = counts[static_cast<std::size_t>(j)];
         ++metrics.slots;
@@ -348,11 +365,10 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
       seen.assign(words, 0);
       twice.assign(words, 0);
       std::uint64_t max_choice = 0;
-      for (std::uint64_t i = 0; i < pending; ++i) {
-        const std::uint64_t c = rng.next_below(window);
+      for_each_choice(window, pending, [&](std::uint64_t c) {
         // Stations beyond the cap never get to transmit (the run stops
         // first), exactly as in the per-slot engines.
-        if (c >= usable) continue;
+        if (c >= usable) return;
         ++metrics.transmissions;
         if (c > max_choice) max_choice = c;
         const std::uint64_t bit = std::uint64_t{1} << (c % 64);
@@ -362,7 +378,7 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
         } else {
           word |= bit;
         }
-      }
+      });
       std::uint64_t occupied = 0;
       std::uint64_t collisions = 0;
       for (std::size_t w = 0; w < words; ++w) {
@@ -383,10 +399,9 @@ RunMetrics run_fair_window_engine_batched(WindowSchedule& schedule,
     }
 
     choices.clear();
-    for (std::uint64_t i = 0; i < pending; ++i) {
-      const std::uint64_t c = rng.next_below(window);
+    for_each_choice(window, pending, [&](std::uint64_t c) {
       if (c < usable) choices.push_back(c);
-    }
+    });
     std::sort(choices.begin(), choices.end());
 
     std::uint64_t elapsed = usable;

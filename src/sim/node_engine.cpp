@@ -8,21 +8,19 @@
 #include "common/mathx.hpp"
 #include "common/samplers.hpp"
 #include "sim/observer.hpp"
+#include "sim/station_soa.hpp"
 
 namespace ucr {
 
-namespace {
-
-struct Station {
-  std::unique_ptr<NodeProtocol> protocol;
-  std::uint64_t arrival_slot = 0;
-  bool transmitted_this_slot = false;
-  /// Transmission attempts so far — the per-station energy ledger behind
-  /// RunMetrics::max_station_transmissions.
-  std::uint64_t sent = 0;
-};
-
-}  // namespace
+// Station state lives in a StationSoA (sim/station_soa.hpp): parallel
+// arrays instead of a vector of per-station structs, so each per-slot pass
+// (probability gather, Bernoulli draws, feedback scan) is a tight loop over
+// one contiguous array. The passes visit stations in index order — the
+// same order as the historical struct-of-vectors loops, and the protocol
+// automata consume no randomness in transmit_probability() — so the RNG
+// stream is consumed identically and both engines are bit-identical to the
+// pre-SoA layout (pinned by tests/integration/golden_test.cpp and the
+// spec-catalogue outputs).
 
 RunMetrics run_node_engine(const NodeFactory& factory,
                            const ArrivalPattern& arrivals, Xoshiro256& rng,
@@ -39,16 +37,9 @@ RunMetrics run_node_engine(const NodeFactory& factory,
   const std::uint64_t cap = options.resolved_cap(k);
 
   Channel channel;
-  std::vector<Station> active;
+  StationSoA active;
   active.reserve(std::min<std::uint64_t>(k, 1u << 20));
   std::size_t next_arrival = 0;
-
-  // Fold a station's transmission count into the run's energy maximum —
-  // on delivery, and at the end of the run for still-active stations.
-  const auto fold_energy = [&](const Station& st) {
-    metrics.max_station_transmissions =
-        std::max(metrics.max_station_transmissions, st.sent);
-  };
 
   std::uint64_t last_delivery_slot = 0;
   while (metrics.deliveries < k && channel.now() < cap) {
@@ -56,25 +47,14 @@ RunMetrics run_node_engine(const NodeFactory& factory,
 
     // Activate stations whose message arrives at this slot.
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
-      active.push_back(
-          Station{factory(rng), arrivals[next_arrival], false, 0});
+      active.activate(factory, rng, arrivals[next_arrival]);
       ++next_arrival;
     }
 
-    // Transmission decisions.
-    std::uint64_t transmitters = 0;
-    double probability_sum = 0.0;
-    for (auto& st : active) {
-      const double p = st.protocol->transmit_probability();
-      UCR_CHECK(p >= 0.0 && p <= 1.0,
-                "protocol produced a probability outside [0, 1]");
-      probability_sum += p;
-      st.transmitted_this_slot = rng.next_bernoulli(p);
-      if (st.transmitted_this_slot) {
-        ++st.sent;
-        ++transmitters;
-      }
-    }
+    // Pass 1: probabilities into the contiguous probs() array.
+    // Pass 2: one Bernoulli coin per station, in the same index order.
+    const double probability_sum = active.gather_probabilities();
+    const std::uint64_t transmitters = active.draw_transmissions(rng);
 
     // The channel model classifies the slot (clean draws no coins; jam
     // and capture coins come from the engine's stream, after the
@@ -101,16 +81,8 @@ RunMetrics run_node_engine(const NodeFactory& factory,
     std::size_t delivered_index = active.size();
     if (outcome == SlotOutcome::kSuccess) {
       UCR_CHECK(transmitters >= 1, "success slot without any transmitter");
-      std::uint64_t target =
-          transmitters == 1 ? 0 : rng.next_below(transmitters);
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (!active[i].transmitted_this_slot) continue;
-        if (target == 0) {
-          delivered_index = i;
-          break;
-        }
-        --target;
-      }
+      delivered_index = active.nth_transmitter(
+          transmitters == 1 ? 0 : rng.next_below(transmitters));
     }
 
     // Feedback. make_feedback covers the clean-channel observations; a
@@ -120,16 +92,15 @@ RunMetrics run_node_engine(const NodeFactory& factory,
     // (every flag false except its own `transmitted`), exactly like a
     // collision without CD.
     for (std::size_t i = 0; i < active.size(); ++i) {
-      auto& st = active[i];
       Feedback fb;
-      if (outcome == SlotOutcome::kSuccess && st.transmitted_this_slot &&
+      if (outcome == SlotOutcome::kSuccess && active.transmitted(i) &&
           i != delivered_index) {
         fb.transmitted = true;
       } else {
-        fb = make_feedback(outcome, st.transmitted_this_slot,
+        fb = make_feedback(outcome, active.transmitted(i),
                            options.collision_detection);
       }
-      st.protocol->on_slot_end(fb);
+      active.protocol(i).on_slot_end(fb);
     }
     if (outcome == SlotOutcome::kSuccess) {
       UCR_CHECK(delivered_index < active.size(),
@@ -141,21 +112,23 @@ RunMetrics run_node_engine(const NodeFactory& factory,
       }
       if (latency != nullptr || options.record_latencies) {
         const std::uint64_t message_latency =
-            now - active[delivered_index].arrival_slot + 1;
+            now - active.arrival_slot(delivered_index) + 1;
         if (latency != nullptr) latency->latencies.push_back(message_latency);
         if (options.record_latencies) {
           metrics.latencies.push_back(message_latency);
         }
       }
-      // Swap-remove; station order is irrelevant to the model.
-      fold_energy(active[delivered_index]);
-      std::swap(active[delivered_index], active.back());
-      active.pop_back();
+      // Fold the delivered station's energy, then swap-remove it (station
+      // order is irrelevant to the model).
+      metrics.max_station_transmissions = std::max(
+          metrics.max_station_transmissions, active.sent(delivered_index));
+      active.swap_remove(delivered_index);
     }
   }
   // Incomplete runs (and stations that never drained): their energy
   // spend counts too.
-  for (const Station& st : active) fold_energy(st);
+  metrics.max_station_transmissions =
+      std::max(metrics.max_station_transmissions, active.max_sent());
 
   metrics.completed = metrics.deliveries == k;
   // Makespan is measured to the last delivery for completed runs (trailing
@@ -194,19 +167,13 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
   const std::uint64_t cap = options.resolved_cap(k);
   KahanSum expected_tx;
 
-  std::vector<Station> active;
+  StationSoA active;
   active.reserve(std::min<std::uint64_t>(k, 1u << 20));
   std::size_t next_arrival = 0;
-  std::vector<double> probs;    // per-station p of the current slot
   std::vector<double> weights;  // success-attribution weights, reused
 
   std::uint64_t now = 0;
   std::uint64_t last_delivery_slot = 0;
-
-  const auto fold_energy = [&](const Station& st) {
-    metrics.max_station_transmissions =
-        std::max(metrics.max_station_transmissions, st.sent);
-  };
 
   // Shared success bookkeeping of the exact-slot and stretch paths.
   const auto finish_delivery = [&](std::size_t index) {
@@ -218,21 +185,20 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     }
     if (latency != nullptr || options.record_latencies) {
       const std::uint64_t message_latency =
-          now - active[index].arrival_slot + 1;
+          now - active.arrival_slot(index) + 1;
       if (latency != nullptr) latency->latencies.push_back(message_latency);
       if (options.record_latencies) {
         metrics.latencies.push_back(message_latency);
       }
     }
-    fold_energy(active[index]);
-    std::swap(active[index], active.back());
-    active.pop_back();
+    metrics.max_station_transmissions =
+        std::max(metrics.max_station_transmissions, active.sent(index));
+    active.swap_remove(index);
   };
 
   while (metrics.deliveries < k && now < cap) {
     while (next_arrival < arrivals.size() && arrivals[next_arrival] <= now) {
-      active.push_back(
-          Station{factory(rng), arrivals[next_arrival], false, 0});
+      active.activate(factory, rng, arrivals[next_arrival]);
       ++next_arrival;
     }
 
@@ -249,28 +215,11 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
       continue;
     }
 
-    // Pass 1: per-station probabilities, the joint stationarity horizon,
-    // and the slot's category law — q = P[silence], s = P[success],
-    // accumulated with the stable station-by-station recurrence (exact for
-    // p in {0, 1}, no catastrophic cancellation for tiny p).
-    probs.resize(active.size());
-    std::uint64_t horizon = ~std::uint64_t{0};
-    double q = 1.0;
-    double s = 0.0;
-    double p_sum = 0.0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      const Station& st = active[i];
-      const double p = st.protocol->transmit_probability();
-      UCR_CHECK(p >= 0.0 && p <= 1.0,
-                "protocol produced a probability outside [0, 1]");
-      probs[i] = p;
-      horizon = std::min(horizon, st.protocol->stationary_slots());
-      s = s * (1.0 - p) + q * p;
-      q *= 1.0 - p;
-      p_sum += p;
-    }
-    UCR_CHECK(horizon >= 1, "stationary horizon must be >= 1");
-    std::uint64_t stretch = std::min(horizon, cap - now);
+    // Pass 1: per-station probabilities into the contiguous probs() array,
+    // plus the joint stationarity horizon and the slot's category law.
+    const StationSoA::SlotLaw law = active.gather_slot_law();
+    UCR_CHECK(law.horizon >= 1, "stationary horizon must be >= 1");
+    std::uint64_t stretch = std::min(law.horizon, cap - now);
     if (next_arrival < arrivals.size()) {
       // A new station voids every stationarity certificate: truncate the
       // stretch at the next arrival (> now after the activation loop).
@@ -281,23 +230,15 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
       // No certified stretch: exact single-slot step with the same
       // per-station draws, in the same order, as run_node_engine — the
       // bit-identity contract for default-hint workloads.
-      std::uint64_t transmitters = 0;
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        active[i].transmitted_this_slot = rng.next_bernoulli(probs[i]);
-        if (active[i].transmitted_this_slot) {
-          ++active[i].sent;
-          ++transmitters;
-        }
-      }
+      const std::uint64_t transmitters = active.draw_transmissions(rng);
       const SlotOutcome outcome = resolve_outcome(transmitters);
       metrics.transmissions += transmitters;
       expected_tx.add(static_cast<double>(transmitters));
       std::size_t delivered_index = active.size();
       for (std::size_t i = 0; i < active.size(); ++i) {
-        auto& st = active[i];
-        const Feedback fb = make_feedback(outcome, st.transmitted_this_slot,
+        const Feedback fb = make_feedback(outcome, active.transmitted(i),
                                           options.collision_detection);
-        st.protocol->on_slot_end(fb);
+        active.protocol(i).on_slot_end(fb);
         if (fb.delivered_mine) delivered_index = i;
       }
       if (outcome == SlotOutcome::kSuccess) {
@@ -319,11 +260,12 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     // one binomial draw, and every station advances in bulk. Only the
     // state-changing slot — the success, if the run ended in one — is
     // materialized.
-    const std::uint64_t failures = sample_geometric_failures(rng, s, stretch);
+    const std::uint64_t failures =
+        sample_geometric_failures(rng, law.s, stretch);
     const bool delivered = failures < stretch;
     std::uint64_t silent = failures;
-    if (failures > 0 && s < 1.0) {
-      const double conditional = std::min(1.0, q / (1.0 - s));
+    if (failures > 0 && law.s < 1.0) {
+      const double conditional = std::min(1.0, law.q / (1.0 - law.s));
       silent = sample_binomial(rng, failures, conditional);
     }
     metrics.silence_slots += silent;
@@ -334,11 +276,11 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     // realized transmission count; adding the realized 1 of the success
     // slot instead would bias the estimator by 1 - p_sum per delivery
     // (the batched fair engine uses the same convention).
-    expected_tx.add(p_sum *
+    expected_tx.add(law.p_sum *
                     static_cast<double>(failures + (delivered ? 1 : 0)));
     now += failures;
-    for (Station& st : active) {
-      st.protocol->on_non_delivery_slots(failures);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      active.protocol(i).on_non_delivery_slots(failures);
     }
     if (!delivered) continue;
 
@@ -347,6 +289,7 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     // With one active station the attribution is deterministic — the
     // common case under sparse arrivals. Otherwise suffix products
     // followed by a prefix walk keep the weights exact for p in {0, 1}.
+    const std::vector<double>& probs = active.probs();
     std::size_t chosen = 0;
     if (active.size() > 1) {
       weights.resize(active.size());
@@ -375,16 +318,17 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
                 "failed to attribute the success slot to a transmitter");
     }
     ++metrics.transmissions;
-    ++active[chosen].sent;
+    active.add_sent(chosen);
     for (std::size_t i = 0; i < active.size(); ++i) {
       const Feedback fb = make_feedback(SlotOutcome::kSuccess, i == chosen,
                                         options.collision_detection);
-      active[i].protocol->on_slot_end(fb);
+      active.protocol(i).on_slot_end(fb);
     }
     finish_delivery(chosen);
     ++now;
   }
-  for (const Station& st : active) fold_energy(st);
+  metrics.max_station_transmissions =
+      std::max(metrics.max_station_transmissions, active.max_sent());
 
   metrics.completed = metrics.deliveries == k;
   metrics.slots = metrics.completed ? last_delivery_slot + 1 : cap;

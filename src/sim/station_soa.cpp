@@ -1,0 +1,34 @@
+#include "sim/station_soa.hpp"
+
+namespace ucr {
+
+void StationSoA::reserve(std::size_t n) {
+  protocols_.reserve(n);
+  arrival_slot_.reserve(n);
+  sent_.reserve(n);
+}
+
+void StationSoA::activate(const NodeFactory& factory, Xoshiro256& rng,
+                          std::uint64_t arrival_slot) {
+  protocols_.push_back(factory(rng));
+  arrival_slot_.push_back(arrival_slot);
+  sent_.push_back(0);
+}
+
+void StationSoA::swap_remove(std::size_t i) {
+  UCR_CHECK(i < protocols_.size(), "swap_remove index out of range");
+  std::swap(protocols_[i], protocols_.back());
+  protocols_.pop_back();
+  arrival_slot_[i] = arrival_slot_.back();
+  arrival_slot_.pop_back();
+  sent_[i] = sent_.back();
+  sent_.pop_back();
+}
+
+std::uint64_t StationSoA::max_sent() const {
+  std::uint64_t max = 0;
+  for (const std::uint64_t s : sent_) max = std::max(max, s);
+  return max;
+}
+
+}  // namespace ucr

@@ -270,5 +270,45 @@ INSTANTIATE_TEST_SUITE_P(SweepLambda, PoissonMoments,
                          ::testing::Values(0.1, 1.0, 5.0, 29.0, 31.0, 100.0,
                                            1000.0));
 
+// --------------------------------------------------- bulk bounded uniforms
+
+using BulkRngTypes = ::testing::Types<Xoshiro256, CounterRng>;
+
+template <typename Rng>
+class FillUniformBelow : public ::testing::Test {};
+TYPED_TEST_SUITE(FillUniformBelow, BulkRngTypes);
+
+TYPED_TEST(FillUniformBelow, MatchesSequentialNextBelow) {
+  // The contract the batched fair engine's byte-pinned outputs rest on:
+  // fill_uniform_below consumes the generator's u64 stream exactly as n
+  // sequential next_below calls would — same outputs, same state advance.
+  // bound = 2^63 + 1 forces Lemire rejections on ~half the draws, so the
+  // retry path (buffered values, then the drained-buffer fallback) is
+  // exercised hard; the small bounds cover the common rejection-free case
+  // and sizes around the internal chunk boundary.
+  for (std::uint64_t bound : {2ULL, 3ULL, 1000ULL, (1ULL << 63) + 1ULL}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{2048},
+                          std::size_t{2049}, std::size_t{5000}}) {
+      TypeParam bulk(424242);
+      TypeParam sequential(424242);
+      std::vector<std::uint64_t> out(n);
+      fill_uniform_below(bulk, bound, out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], sequential.next_below(bound))
+            << "bound=" << bound << " n=" << n << " i=" << i;
+      }
+      // Same state advance: the next unbounded draws still agree.
+      ASSERT_EQ(bulk.next_u64(), sequential.next_u64())
+          << "bound=" << bound << " n=" << n;
+    }
+  }
+}
+
+TYPED_TEST(FillUniformBelow, RejectsZeroBound) {
+  TypeParam rng(1);
+  std::uint64_t out[1];
+  EXPECT_THROW(fill_uniform_below(rng, 0, out, 1), ContractViolation);
+}
+
 }  // namespace
 }  // namespace ucr

@@ -1,0 +1,84 @@
+// Shared statistical-equivalence checks between an exact engine and its
+// batched fast path. Both batched-equivalence suites (fair-engine and
+// per-node) compare independently seeded run ensembles of the same
+// workload, so the check is Welch-style: means must agree within 4
+// combined standard errors plus a small systematic allowance — wide
+// enough for Monte-Carlo noise, tight enough that a modeling error in a
+// stretch sampler (a missed collision class, a biased run length) fails
+// deterministically at the shipped run counts.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace ucr::testutil {
+
+inline double standard_error(const Summary& summary) {
+  return summary.stddev / std::sqrt(static_cast<double>(summary.count));
+}
+
+/// Mean and median makespan of the two ensembles agree within
+/// 4 * combined SE + systematic_frac * exact mean (the median gets twice
+/// the tolerance: its standard error is within a small factor of the
+/// mean's for these unimodal makespan distributions). `systematic_frac`
+/// is 0.02 by default; sparse-window regimes with fewer runs use 0.03.
+inline void expect_makespan_agreement(const AggregateResult& exact,
+                                      const AggregateResult& batched,
+                                      const std::string& label,
+                                      double systematic_frac = 0.02) {
+  ASSERT_EQ(exact.incomplete_runs, 0u) << label;
+  ASSERT_EQ(batched.incomplete_runs, 0u) << label;
+  const double tol =
+      4.0 * std::hypot(standard_error(exact.makespan),
+                       standard_error(batched.makespan)) +
+      systematic_frac * exact.makespan.mean;
+  EXPECT_NEAR(exact.makespan.mean, batched.makespan.mean, tol)
+      << label << ": exact=" << exact.makespan.mean
+      << " batched=" << batched.makespan.mean;
+  EXPECT_NEAR(exact.makespan.median, batched.makespan.median, 2.0 * tol)
+      << label << ": exact median=" << exact.makespan.median
+      << " batched median=" << batched.makespan.median;
+}
+
+inline Summary collision_summary(const AggregateResult& result) {
+  std::vector<double> values;
+  values.reserve(result.details.size());
+  for (const auto& run : result.details) {
+    values.push_back(static_cast<double>(run.collision_slots));
+  }
+  return summarize(values);
+}
+
+/// Mean collision-slot counts agree within 4 * combined SE + 5% + 2
+/// slots. Collisions are the protocol-dynamics-sensitive outcome that a
+/// makespan dominated by the arrival span would not catch; the additive
+/// 2 covers near-zero collision counts where a relative allowance
+/// vanishes.
+inline void expect_collision_agreement(const AggregateResult& exact,
+                                       const AggregateResult& batched,
+                                       const std::string& label) {
+  const Summary exact_coll = collision_summary(exact);
+  const Summary batched_coll = collision_summary(batched);
+  const double tol = 4.0 * std::hypot(standard_error(exact_coll),
+                                      standard_error(batched_coll)) +
+                     0.05 * exact_coll.mean + 2.0;
+  EXPECT_NEAR(exact_coll.mean, batched_coll.mean, tol)
+      << label << ": exact collisions=" << exact_coll.mean
+      << " batched collisions=" << batched_coll.mean;
+}
+
+/// The full check used by the per-node suite: makespan plus collisions.
+inline void expect_statistical_agreement(const AggregateResult& exact,
+                                         const AggregateResult& batched,
+                                         const std::string& label,
+                                         double systematic_frac = 0.02) {
+  expect_makespan_agreement(exact, batched, label, systematic_frac);
+  expect_collision_agreement(exact, batched, label);
+}
+
+}  // namespace ucr::testutil

@@ -3,9 +3,10 @@
 // every protocol in the catalogue. The batched path consumes randomness
 // differently (geometric run-lengths and direct slot choices instead of
 // per-slot draws), so individual runs differ; equivalence is checked
-// statistically — mean and median makespan within a tolerance that covers
-// Monte-Carlo noise but catches systematic modeling errors — rather than
-// by re-pinning goldens.
+// statistically via the shared Welch-style helper in
+// tests/common/stat_equiv.hpp — mean and median makespan within a
+// tolerance that covers Monte-Carlo noise but catches systematic modeling
+// errors — rather than by re-pinning goldens.
 //
 // The file also pins the two contracts the fast path ships with: protocols
 // with a batching hint of 1 are bit-identical to the exact engine, and at
@@ -15,7 +16,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <limits>
 #include <string>
 
@@ -23,6 +23,7 @@
 #include "core/registry.hpp"
 #include "protocols/exp_backoff.hpp"
 #include "sim/runner.hpp"
+#include "tests/common/stat_equiv.hpp"
 
 namespace ucr {
 namespace {
@@ -53,24 +54,7 @@ TEST_P(BatchedEquivalence, MeanAndMedianMakespanAgree) {
   const AggregateResult batched =
       run_fair_experiment(factory, k, runs, 2222, batched_options());
 
-  ASSERT_EQ(exact.incomplete_runs, 0u);
-  ASSERT_EQ(batched.incomplete_runs, 0u);
-
-  // Welch-style comparison: |mean_a - mean_b| within 4 combined standard
-  // errors plus a 2% systematic allowance; the median gets the same
-  // allowance (its standard error is within a small factor of the
-  // mean's for these unimodal makespan distributions).
-  const double se_exact = exact.makespan.stddev / std::sqrt(double(runs));
-  const double se_batched =
-      batched.makespan.stddev / std::sqrt(double(runs));
-  const double tol =
-      4.0 * std::hypot(se_exact, se_batched) + 0.02 * exact.makespan.mean;
-  EXPECT_NEAR(exact.makespan.mean, batched.makespan.mean, tol)
-      << GetParam() << ": exact=" << exact.makespan.mean
-      << " batched=" << batched.makespan.mean;
-  EXPECT_NEAR(exact.makespan.median, batched.makespan.median, 2.0 * tol)
-      << GetParam() << ": exact median=" << exact.makespan.median
-      << " batched median=" << batched.makespan.median;
+  testutil::expect_makespan_agreement(exact, batched, GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -97,14 +81,9 @@ TEST(BatchedEquivalence, SparseWindowRegimeAgrees) {
   const AggregateResult exact = run_fair_experiment(factory, k, runs, 31, {});
   const AggregateResult batched =
       run_fair_experiment(factory, k, runs, 32, batched_options());
-  ASSERT_EQ(exact.incomplete_runs, 0u);
-  ASSERT_EQ(batched.incomplete_runs, 0u);
-  const double se_exact = exact.makespan.stddev / std::sqrt(double(runs));
-  const double se_batched =
-      batched.makespan.stddev / std::sqrt(double(runs));
-  const double tol =
-      4.0 * std::hypot(se_exact, se_batched) + 0.03 * exact.makespan.mean;
-  EXPECT_NEAR(exact.makespan.mean, batched.makespan.mean, tol);
+  // Fewer runs than the parametrised suite, so a wider 3% systematic
+  // allowance.
+  testutil::expect_makespan_agreement(exact, batched, "sparse-window", 0.03);
 }
 
 TEST(BatchedEquivalence, HintOneProtocolsAreBitIdentical) {

@@ -6,7 +6,8 @@
 // a conditional success-attribution draw instead of per-station coins), so
 // individual runs may differ; equivalence is checked statistically — mean
 // and median makespan plus mean collision count within Monte-Carlo
-// tolerances — mirroring tests/integration/batched_engine_test.cpp.
+// tolerances — through the same shared helper
+// (tests/common/stat_equiv.hpp) as tests/integration/batched_engine_test.cpp.
 //
 // The file also pins the contracts the fast path ships with:
 //  * default-hint (stationary_slots() == 1) protocols are bit-identical to
@@ -21,13 +22,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <limits>
 #include <string>
 
 #include "core/dynamic_one_fail.hpp"
 #include "core/registry.hpp"
 #include "sim/runner.hpp"
+#include "tests/common/stat_equiv.hpp"
 
 namespace ucr {
 namespace {
@@ -49,51 +50,6 @@ EngineOptions batched_options() {
   return options;
 }
 
-double mean_collision_slots(const AggregateResult& result) {
-  double sum = 0.0;
-  for (const auto& run : result.details) {
-    sum += static_cast<double>(run.collision_slots);
-  }
-  return sum / static_cast<double>(result.details.size());
-}
-
-double collision_se(const AggregateResult& result) {
-  std::vector<double> values;
-  values.reserve(result.details.size());
-  for (const auto& run : result.details) {
-    values.push_back(static_cast<double>(run.collision_slots));
-  }
-  const Summary s = summarize(values);
-  return s.stddev / std::sqrt(static_cast<double>(values.size()));
-}
-
-void expect_statistical_agreement(const AggregateResult& exact,
-                                  const AggregateResult& batched,
-                                  const std::string& label) {
-  ASSERT_EQ(exact.incomplete_runs, 0u) << label;
-  ASSERT_EQ(batched.incomplete_runs, 0u) << label;
-  const double runs = static_cast<double>(exact.runs);
-  // Welch-style comparison, as in batched_engine_test: 4 combined
-  // standard errors plus a 2% systematic allowance.
-  const double se_exact = exact.makespan.stddev / std::sqrt(runs);
-  const double se_batched = batched.makespan.stddev / std::sqrt(runs);
-  const double tol =
-      4.0 * std::hypot(se_exact, se_batched) + 0.02 * exact.makespan.mean;
-  EXPECT_NEAR(exact.makespan.mean, batched.makespan.mean, tol)
-      << label << ": exact=" << exact.makespan.mean
-      << " batched=" << batched.makespan.mean;
-  EXPECT_NEAR(exact.makespan.median, batched.makespan.median, 2.0 * tol)
-      << label;
-  // Collision counts are the protocol-dynamics-sensitive outcome a
-  // makespan dominated by the arrival span would not catch.
-  const double coll_tol =
-      4.0 * std::hypot(collision_se(exact), collision_se(batched)) +
-      0.05 * mean_collision_slots(exact) + 2.0;
-  EXPECT_NEAR(mean_collision_slots(exact), mean_collision_slots(batched),
-              coll_tol)
-      << label;
-}
-
 class NodeBatchedEquivalence : public ::testing::TestWithParam<std::string> {
 };
 
@@ -106,7 +62,8 @@ TEST_P(NodeBatchedEquivalence, PoissonCellAgrees) {
       run_node_experiment(factory, arrivals, runs, 1111, {});
   const AggregateResult batched =
       run_node_experiment(factory, arrivals, runs, 2222, batched_options());
-  expect_statistical_agreement(exact, batched, GetParam() + " (poisson)");
+  testutil::expect_statistical_agreement(exact, batched,
+                                         GetParam() + " (poisson)");
 }
 
 TEST_P(NodeBatchedEquivalence, BurstCellAgrees) {
@@ -120,7 +77,8 @@ TEST_P(NodeBatchedEquivalence, BurstCellAgrees) {
       run_node_experiment(factory, arrivals, runs, 3333, {});
   const AggregateResult batched =
       run_node_experiment(factory, arrivals, runs, 4444, batched_options());
-  expect_statistical_agreement(exact, batched, GetParam() + " (burst)");
+  testutil::expect_statistical_agreement(exact, batched,
+                                         GetParam() + " (burst)");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,6 +11,11 @@ found (2 for usage/parse errors). Output is one line per benchmark; on a
 GitHub runner regressions are also emitted as ::warning:: annotations so
 they surface on the workflow summary without failing the job.
 
+A missing or empty baseline is not an error: the first run of a fresh
+cache has nothing to compare against, so the tool prints a one-line
+"baseline created" note and exits 0 — the current results become the
+baseline for the next run.
+
 When a run was made with --benchmark_repetitions, the aggregate entries
 are preferred (median, falling back to mean) and the raw iterations are
 ignored; single-run files use the plain iteration entries. Benchmarks
@@ -75,6 +80,12 @@ def main() -> int:
         help="exit 1 when regressions are found (default: warn only)",
     )
     args = parser.parse_args()
+
+    if (not os.path.exists(args.baseline)
+            or os.path.getsize(args.baseline) == 0):
+        print(f"bench_compare: no baseline at {args.baseline} — "
+              "baseline created from this run; nothing to compare yet.")
+        return 0
 
     try:
         baseline = load_times(args.baseline)

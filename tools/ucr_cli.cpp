@@ -59,6 +59,10 @@ int usage(const std::string& error) {
          "  --dump-spec       print the canonical merged spec text and\n"
          "                    exit — turns any flag invocation into a\n"
          "                    versionable spec file\n"
+         "  --hash-spec       print the merged spec's shard-invariant\n"
+         "                    spec_hash (the provenance key stamped on\n"
+         "                    every archived row) and exit — what CI uses\n"
+         "                    to tag benchmark trajectory entries\n"
          "spec axes (each flag sets one field of the ExperimentSpec):\n"
          "  --protocol=NAME   one protocol (case-insensitive; typos get a\n"
          "                    did-you-mean hint — try --list)\n"
@@ -285,6 +289,10 @@ int run_spec(const ucr::CliArgs& args) {
     std::cout << ucr::exp::to_text(file);
     return 0;
   }
+  if (args.get_bool("hash-spec", false)) {
+    std::cout << ucr::exp::spec_hash(spec) << "\n";
+    return 0;
+  }
 
   if (spec.protocol_names.empty() && spec.protocols.empty()) {
     return usage("--protocol, --protocols or a --spec file naming "
@@ -380,7 +388,8 @@ int run_spec(const ucr::CliArgs& args) {
 
 int run_cli(int argc, char** argv) {
   const ucr::CliArgs args(argc, argv,
-                          {"spec", "dump-spec", "protocol", "protocols", "k",
+                          {"spec", "dump-spec", "hash-spec", "protocol",
+                           "protocols", "k",
                            "ks", "kmax", "runs", "seed", "engine", "arrivals",
                            "lambda", "bursts", "gap", "channel", "max-slots",
                            "shard", "threads", "csv", "format", "list"});
