@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <vector>
 
 #include "common/check.hpp"
@@ -23,6 +24,7 @@
 #include "protocols/known_k.hpp"
 #include "sim/fair_engine.hpp"
 #include "sim/node_engine.hpp"
+#include "svc/result_cache.hpp"
 
 #ifndef UCR_ENGINE_MICRO_SPEC
 #define UCR_ENGINE_MICRO_SPEC "specs/engine-micro.spec"
@@ -225,6 +227,46 @@ void BM_SpecSweep(benchmark::State& state) {
 // tracks) and pace iterations by wall clock. The shipped spec pins
 // threads = 1 so process CPU is the work itself, not scheduler noise.
 BENCHMARK(BM_SpecSweep)->MeasureProcessCPUTime()->UseRealTime();
+
+// The warm half of docs/SERVICE.md's cost model: the identical sweep
+// with every cell already banked in the result cache, so one iteration
+// is pure replay (key lookup + record parse + re-render), no
+// simulation. The cache is primed once outside the timing loop; items
+// processed = cells replayed, so the per-cell replay cost is the
+// tracked regression quantity.
+void BM_CachedSweep(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const char* env = std::getenv("UCR_SPEC");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : UCR_ENGINE_MICRO_SPEC;
+  ucr::exp::SpecFile file;
+  try {
+    file = ucr::exp::load_spec_file(path);
+  } catch (const ucr::ContractViolation& e) {
+    state.SkipWithError(e.what());
+    return;
+  }
+  const ucr::exp::ExperimentPlan plan =
+      ucr::exp::compile(file.spec, ucr::default_catalogue());
+
+  const fs::path root =
+      fs::temp_directory_path() / "ucr_bm_cached_sweep";
+  fs::remove_all(root);
+  ucr::svc::ResultCache cache(root.string());
+  ucr::exp::run_collect(plan, {file.threads, &cache});  // prime
+
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto results =
+        ucr::exp::run_collect(plan, {file.threads, &cache});
+    cells += results.size();
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetLabel(path);
+  fs::remove_all(root);
+}
+BENCHMARK(BM_CachedSweep)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,76 @@
+// Minimal JSON reading/writing for the service layer.
+//
+// The repository speaks line-oriented JSON in two places: the
+// provenance-keyed result cache (svc/result_cache.hpp, one record per
+// cell) and the sweep daemon's wire protocol (svc/server.hpp, one message
+// per line). Both need exact round-trips of the numbers this codebase
+// emits — u64 cell indices and shortest-round-trip doubles — so Value
+// keeps every number as its raw token and converts on demand instead of
+// funnelling everything through a lossy double.
+//
+// Scope: RFC 8259 syntax with two documented limits — \uXXXX escapes
+// decode basic-plane codepoints only (no surrogate pairs; our own writers
+// emit \u00XX for control characters and raw UTF-8 otherwise), and
+// numbers are validated as JSON tokens but range-checked only at
+// as_u64()/as_double() time. parse() requires the whole text to be one
+// value; parse errors throw ContractViolation naming the byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ucr::json {
+
+/// One parsed JSON value. Objects keep their members in document order
+/// (duplicate keys are rejected at parse time).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  /// Typed accessors; each throws ContractViolation when the value is not
+  /// of the requested type (or the number does not fit the target).
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+
+  /// Raw token of a number, exactly as it appeared in the document.
+  const std::string& number_token() const;
+
+  /// Object member lookup: find() returns nullptr when absent; at()
+  /// throws ContractViolation naming the key.
+  const Value* find(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+ private:
+  friend Value parse(const std::string& text);
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  /// kNumber: raw token; kString: decoded text.
+  std::string text_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses exactly one JSON value spanning the whole text (surrounding
+/// whitespace allowed). Throws ContractViolation on malformed input,
+/// trailing garbage, or duplicate object keys.
+Value parse(const std::string& text);
+
+/// Escapes text for embedding in a JSON string literal per RFC 8259
+/// (backslash, quote, and control characters; everything else verbatim).
+std::string escape(const std::string& text);
+
+}  // namespace ucr::json

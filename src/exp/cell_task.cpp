@@ -1,0 +1,35 @@
+#include "exp/cell_task.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ucr::exp {
+
+std::string CellTask::key() const {
+  return spec_hash + "/cell-" + std::to_string(cell.index);
+}
+
+CellResult CellTask::execute() const {
+  UCR_REQUIRE(point.runs > 0, "cell task needs runs >= 1");
+  std::vector<RunMetrics> metrics(point.runs);
+  for (std::uint64_t r = 0; r < point.runs; ++r) {
+    metrics[r] = run_sweep_point_run(point, r);
+  }
+  return CellResult{
+      cell, aggregate_runs(point.factory.name, point.cell_k(),
+                           std::move(metrics))};
+}
+
+std::vector<CellTask> enumerate_cell_tasks(const ExperimentPlan& plan) {
+  UCR_CHECK(plan.points.size() == plan.cells.size(),
+            "plan points and cells out of step");
+  std::vector<CellTask> tasks;
+  tasks.reserve(plan.points.size());
+  for (std::size_t i = 0; i < plan.points.size(); ++i) {
+    tasks.push_back(CellTask{plan.spec_hash, plan.cells[i], plan.points[i]});
+  }
+  return tasks;
+}
+
+}  // namespace ucr::exp

@@ -10,18 +10,80 @@ void run(const ExperimentPlan& plan, const std::vector<ResultSink*>& sinks,
          const RunOptions& options) {
   for (ResultSink* sink : sinks) {
     UCR_REQUIRE(sink != nullptr, "null ResultSink attached to run()");
+  }
+  std::vector<CellTask> tasks = enumerate_cell_tasks(plan);
+
+  // Probe the store up front: cached cells replay, the rest execute. A
+  // replayed cell never runs, so an observer would silently miss its
+  // slots — reject the combination loudly (observer plans are single-cell
+  // single-run anyway; they have nothing to gain from a cache).
+  std::vector<std::optional<AggregateResult>> ready(tasks.size());
+  if (options.cache != nullptr) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      UCR_REQUIRE(tasks[i].point.options.observer == nullptr,
+                  "a result cache cannot be attached to an observer plan "
+                  "(cached replay never materializes slots)");
+      ready[i] = options.cache->load(plan.spec_hash, tasks[i].cell.index);
+    }
+  }
+  std::vector<std::size_t> miss;
+  std::vector<SweepPoint> miss_points;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!ready[i].has_value()) {
+      miss.push_back(i);
+      miss_points.push_back(tasks[i].point);
+    }
+  }
+
+  for (ResultSink* sink : sinks) {
     sink->begin(plan);
   }
-  SweepOptions sweep_options;
-  sweep_options.threads = options.threads;
-  SweepRunner(sweep_options)
-      .run_streaming(plan.points,
-                     [&plan, &sinks](std::size_t cell,
-                                     AggregateResult&& result) {
-                       for (ResultSink* sink : sinks) {
-                         sink->emit(plan.cells[cell], result);
-                       }
-                     });
+
+  // Grid-order emission cursor, shared by cached replays and fresh
+  // completions: a cell is handed to the sinks as soon as every cell
+  // before it is ready, cached or computed.
+  std::size_t cursor = 0;
+  const auto emit_ready = [&] {
+    while (cursor < tasks.size() && ready[cursor].has_value()) {
+      AggregateResult result = std::move(*ready[cursor]);
+      ready[cursor].reset();
+      const std::size_t index = cursor++;
+      for (ResultSink* sink : sinks) {
+        sink->emit(tasks[index].cell, result);
+      }
+    }
+  };
+
+  // A fully (or leading-prefix) cached sweep streams before any work is
+  // scheduled.
+  emit_ready();
+
+  if (!miss_points.empty()) {
+    SweepOptions sweep_options;
+    sweep_options.threads = options.threads;
+    // run_streaming completes miss cells in sub-grid prefix order, which
+    // is grid order restricted to the misses — so when miss j lands,
+    // every earlier cell is ready and the cursor can sweep past it. The
+    // callback runs under run_streaming's emission mutex, preserving the
+    // sinks' serialization contract. Fresh cells are stored before they
+    // are emitted: a run killed mid-stream has banked every cell it
+    // already wrote (and the one in flight), which is what makes the
+    // store a checkpoint.
+    SweepRunner(sweep_options)
+        .run_streaming(miss_points, [&](std::size_t j,
+                                        AggregateResult&& result) {
+          const std::size_t index = miss[j];
+          if (options.cache != nullptr) {
+            options.cache->store(tasks[index], result);
+          }
+          ready[index] = std::move(result);
+          emit_ready();
+        });
+  }
+
+  // Trailing cached cells (a warm suffix after the last miss).
+  emit_ready();
+  UCR_CHECK(cursor == tasks.size(), "run() emitted fewer cells than planned");
   for (ResultSink* sink : sinks) {
     sink->end();
   }

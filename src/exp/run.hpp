@@ -1,17 +1,53 @@
-// run(): ExperimentPlan -> ResultSink(s), on the parallel SweepRunner.
+// run(): ExperimentPlan -> CellTask[] -> ResultSink(s).
 //
-// The end of the pipeline. Cells execute across the worker pool and every
-// completed cell is pushed to each sink as soon as the grid prefix up to
-// it is done — in grid order, with bit-identical content for any thread
-// count and dispatch order (the sim/sweep.hpp determinism contract).
+// The end of the pipeline, as a thin driver over the CellTask unit
+// (exp/cell_task.hpp): the plan is lifted into per-cell tasks, tasks
+// execute across the worker pool (SweepRunner), and every completed cell
+// is pushed to each sink as soon as the grid prefix up to it is done — in
+// grid order, with bit-identical content for any thread count and
+// dispatch order (the sim/sweep.hpp determinism contract).
+//
+// Attaching a CellResultStore makes the driver resumable: tasks whose
+// (spec_hash, cell_index) key is already in the store replay the cached
+// aggregate into the sinks without executing anything, and every freshly
+// computed cell is stored *before* it is emitted — so a run killed after
+// N cells has banked those N cells, and re-running the same spec against
+// the same store streams them back and computes only the rest, with
+// output byte-identical to an uninterrupted cold run.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "exp/cell_task.hpp"
 #include "exp/plan.hpp"
 #include "exp/sink.hpp"
 
 namespace ucr::exp {
+
+/// Persistence hook for completed cells, keyed by the task's provenance
+/// pair (spec_hash, cell_index). The on-disk implementation is
+/// svc::ResultCache (svc/result_cache.hpp); this interface keeps the exp
+/// layer free of its storage format. Implementations must be safe to call
+/// from worker threads under run()'s emission serialization (calls are
+/// never concurrent with each other).
+class CellResultStore {
+ public:
+  virtual ~CellResultStore() = default;
+
+  /// Returns the cached aggregate of (spec_hash, cell_index), or nullopt
+  /// when the cell has not been stored. Implementations should throw
+  /// (loudly) on corrupt or schema-stale records rather than return
+  /// nullopt — silently recomputing would mask archive rot.
+  virtual std::optional<AggregateResult> load(const std::string& spec_hash,
+                                              std::size_t cell_index) = 0;
+
+  /// Persists a completed cell. Called once per fresh cell, before the
+  /// cell is emitted to any sink.
+  virtual void store(const CellTask& task,
+                     const AggregateResult& result) = 0;
+};
 
 struct RunOptions {
   /// Worker threads; 0 means all hardware threads. (Dispatch is always in
@@ -19,6 +55,12 @@ struct RunOptions {
   /// reordering would buffer nearly the whole grid before the first row;
   /// see SweepOptions::largest_first.)
   unsigned threads = 0;
+  /// When set, cells already present in the store are replayed instead of
+  /// executed and fresh cells are stored before emission (see above).
+  /// Cached replay carries no per-run details (AggregateResult::details
+  /// is empty) and never fires observers, so run() rejects a cache on
+  /// observer plans.
+  CellResultStore* cache = nullptr;
 };
 
 /// Executes the plan, streaming each cell to every sink in grid order.

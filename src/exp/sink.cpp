@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace ucr::exp {
@@ -18,41 +19,13 @@ void CsvStreamSink::emit(const CellInfo& cell, const AggregateResult& result) {
   AggregateRow row = AggregateRow::from(result);
   row.spec_hash = spec_hash_;
   write_aggregate_row(*os_, row);
-  os_->flush();
+  if (flush_each_row_) os_->flush();
 }
 
+void CsvStreamSink::end() { os_->flush(); }
+
 std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char ch : text) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(ch >> 4) & 0xF];
-          out += hex[ch & 0xF];
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
+  return json::escape(text);
 }
 
 void JsonlSink::begin(const ExperimentPlan& plan) {
@@ -85,8 +58,10 @@ void JsonlSink::emit(const CellInfo& cell, const AggregateResult& result) {
      << ",\"energy_mean\":" << format_double(result.energy_mean, 6)
      << ",\"energy_max\":" << format_double(result.energy_max, 6)  //
      << "}\n";
-  os.flush();
+  if (flush_each_row_) os.flush();
 }
+
+void JsonlSink::end() { os_->flush(); }
 
 void MemorySink::emit(const CellInfo& cell, const AggregateResult& result) {
   cells_.push_back(cell);

@@ -41,13 +41,20 @@ class ResultSink {
 class CsvStreamSink final : public ResultSink {
  public:
   /// Does not take ownership; the stream must outlive the sink.
-  explicit CsvStreamSink(std::ostream& os) : os_(&os) {}
+  /// `flush_each_row` (the default) flushes the stream after every row,
+  /// so a streamed consumer — or the archive of a killed run — never
+  /// loses a completed cell to buffering; pass false only for throughput
+  /// sinks where end() alone flushing is acceptable.
+  explicit CsvStreamSink(std::ostream& os, bool flush_each_row = true)
+      : os_(&os), flush_each_row_(flush_each_row) {}
 
   void begin(const ExperimentPlan& plan) override;
   void emit(const CellInfo& cell, const AggregateResult& result) override;
+  void end() override;
 
  private:
   std::ostream* os_;
+  bool flush_each_row_;
   std::string spec_hash_;
 };
 
@@ -59,13 +66,19 @@ class CsvStreamSink final : public ResultSink {
 class JsonlSink final : public ResultSink {
  public:
   /// Does not take ownership; the stream must outlive the sink.
-  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  /// `flush_each_row` as in CsvStreamSink: every row reaches the consumer
+  /// as soon as it is emitted (the sweep daemon's stream verb and killed
+  /// runs both depend on it).
+  explicit JsonlSink(std::ostream& os, bool flush_each_row = true)
+      : os_(&os), flush_each_row_(flush_each_row) {}
 
   void begin(const ExperimentPlan& plan) override;
   void emit(const CellInfo& cell, const AggregateResult& result) override;
+  void end() override;
 
  private:
   std::ostream* os_;
+  bool flush_each_row_;
   std::string spec_hash_;
 };
 

@@ -54,23 +54,18 @@ unsigned SweepRunner::threads() const {
   return ThreadPool::resolve_threads(options_.threads);
 }
 
-namespace {
-
-/// One run of one cell: the shared work unit of both entry points.
-RunMetrics run_work_item(const SweepPoint& point, std::uint64_t r) {
+RunMetrics run_sweep_point_run(const SweepPoint& point, std::uint64_t run) {
   if (point.arrivals_per_run) {
-    return run_single_node(point.factory, point.arrivals_per_run(r), r,
+    return run_single_node(point.factory, point.arrivals_per_run(run), run,
                            point.seed, point.options);
   }
   if (point.arrivals.empty()) {
-    return run_single_fair(point.factory, point.k, r, point.seed,
+    return run_single_fair(point.factory, point.k, run, point.seed,
                            point.options);
   }
-  return run_single_node(point.factory, point.arrivals, r, point.seed,
+  return run_single_node(point.factory, point.arrivals, run, point.seed,
                          point.options);
 }
-
-}  // namespace
 
 void SweepRunner::run_streaming(const std::vector<SweepPoint>& grid,
                                 const CellCallback& emit) const {
@@ -144,7 +139,7 @@ void SweepRunner::run_impl(const std::vector<SweepPoint>& grid,
       for (std::uint64_t r = 0; r < point.runs; ++r) {
         pending.push_back(pool.submit([&, cell, r] {
           const SweepPoint& p = grid[cell];
-          metrics[cell][r] = run_work_item(p, r);
+          metrics[cell][r] = run_sweep_point_run(p, r);
           if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) != 1) {
             return;
           }
@@ -152,9 +147,7 @@ void SweepRunner::run_impl(const std::vector<SweepPoint>& grid,
           // longest completed prefix. The cursor is advanced before the
           // callback runs so a throwing sink can never double-emit.
           std::lock_guard<std::mutex> lock(emit_mutex);
-          const std::uint64_t cell_k =
-              p.arrivals.empty() ? p.k : p.arrivals.size();
-          ready[cell] = aggregate_runs(p.factory.name, cell_k,
+          ready[cell] = aggregate_runs(p.factory.name, p.cell_k(),
                                        std::move(metrics[cell]));
           done[cell] = 1;
           // Once any sink throws, the stream is dead: emitting later cells

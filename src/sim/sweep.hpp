@@ -61,7 +61,20 @@ struct SweepPoint {
       std::function<ArrivalPattern(std::uint64_t run)> generator,
       std::uint64_t runs, std::uint64_t seed,
       const EngineOptions& options = {});
+
+  /// The k this cell's aggregate reports: the explicit batch size, or the
+  /// materialized pattern's message count for fixed-pattern node cells.
+  std::uint64_t cell_k() const {
+    return arrivals.empty() ? k : arrivals.size();
+  }
 };
+
+/// One run of one cell — the shared work unit of SweepRunner and of any
+/// driver executing a cell on its own (exp/cell_task.hpp). Run r of a
+/// point is seeded stream(point.seed, r), so (point, r) fully determines
+/// the result: executing a cell serially, in a pool, or on another
+/// machine produces identical metrics.
+RunMetrics run_sweep_point_run(const SweepPoint& point, std::uint64_t run);
 
 struct SweepOptions {
   /// Worker threads; 0 means all hardware threads.

@@ -1,0 +1,86 @@
+#include "svc/client.hpp"
+
+#include <optional>
+
+#include "common/check.hpp"
+#include "svc/socket.hpp"
+
+namespace ucr::svc {
+
+namespace {
+
+/// Parses one response line and throws when the daemon reported an error.
+json::Value parse_response(const std::string& line) {
+  const json::Value response = json::parse(line);
+  UCR_REQUIRE(response.is_object(),
+              "malformed daemon response (not a JSON object): " + line);
+  const json::Value* ok = response.find("ok");
+  if (ok != nullptr && !ok->as_bool()) {
+    const json::Value* error = response.find("error");
+    throw ContractViolation(
+        "daemon error: " +
+        (error != nullptr ? error->as_string() : std::string("(no message)")));
+  }
+  return response;
+}
+
+}  // namespace
+
+std::string simple_request(const std::string& cmd) {
+  return "{\"cmd\":\"" + json::escape(cmd) + "\"}";
+}
+
+std::string job_request(const std::string& cmd, const std::string& job_id) {
+  return "{\"cmd\":\"" + json::escape(cmd) + "\",\"job\":\"" +
+         json::escape(job_id) + "\"}";
+}
+
+std::string submit_request(const std::string& spec_text) {
+  return "{\"cmd\":\"submit\",\"spec\":\"" + json::escape(spec_text) + "\"}";
+}
+
+json::Value request(const std::string& socket_path, const std::string& line) {
+  LineSocket socket = connect_unix(socket_path);
+  socket.send_line(line);
+  const std::optional<std::string> response = socket.recv_line();
+  UCR_REQUIRE(response.has_value(),
+              "daemon closed the connection without answering");
+  return parse_response(*response);
+}
+
+StreamResult stream_job(
+    const std::string& socket_path, const std::string& job_id,
+    const std::function<void(const std::string&)>& on_row) {
+  LineSocket socket = connect_unix(socket_path);
+  socket.send_line(job_request("stream", job_id));
+  while (true) {
+    const std::optional<std::string> line = socket.recv_line();
+    UCR_REQUIRE(line.has_value(),
+                "daemon closed the stream before the final summary");
+    // Result rows are raw JsonlSink output, which always opens with the
+    // cell index; the final summary (and any error) opens with "ok".
+    // Classify on the prefix so row bytes pass through untouched.
+    if (line->rfind("{\"ok\":", 0) != 0) {
+      on_row(*line);
+      continue;
+    }
+    const json::Value response = parse_response(*line);
+    if (response.find("done") == nullptr) {
+      // An ok-but-not-done object on a stream is a protocol violation.
+      throw ContractViolation("unexpected mid-stream response: " + *line);
+    }
+    StreamResult result;
+    result.job = response.at("job").as_string();
+    result.state = response.at("state").as_string();
+    result.spec_hash = response.at("spec_hash").as_string();
+    result.total = response.at("total").as_u64();
+    result.completed = response.at("completed").as_u64();
+    result.cache_hits = response.at("cache_hits").as_u64();
+    if (const json::Value* error = response.find("error")) {
+      result.error = error->as_string();
+    }
+    return result;
+  }
+}
+
+}  // namespace ucr::svc

@@ -1,0 +1,49 @@
+// Client side of the sweep daemon protocol (svc/server.hpp): request
+// construction, one-shot exchanges, and row streaming. ucr_cli's
+// --submit/--status/--cancel/--shutdown client mode and the service tests
+// both sit on these helpers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace ucr::svc {
+
+/// {"cmd":"<cmd>"} — ping, shutdown.
+std::string simple_request(const std::string& cmd);
+
+/// {"cmd":"<cmd>","job":"<job_id>"} — status, stream, cancel.
+std::string job_request(const std::string& cmd, const std::string& job_id);
+
+/// {"cmd":"submit","spec":"<escaped spec text>"}.
+std::string submit_request(const std::string& spec_text);
+
+/// One exchange: connect to `socket_path`, send `line`, return the parsed
+/// response. Throws ContractViolation on transport failure, on a
+/// malformed response, and on {"ok":false} (surfacing the daemon's error
+/// message verbatim).
+json::Value request(const std::string& socket_path, const std::string& line);
+
+/// Final summary line of a streamed job.
+struct StreamResult {
+  std::string job;
+  std::string state;
+  std::string spec_hash;
+  std::uint64_t total = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::string error;
+};
+
+/// Streams a job: invokes `on_row` with every raw JSONL row line (grid
+/// order, no trailing newline, byte-identical to JsonlSink output) as the
+/// daemon emits them, then returns the parsed final summary. Throws
+/// ContractViolation on transport failure or a daemon-reported error.
+StreamResult stream_job(
+    const std::string& socket_path, const std::string& job_id,
+    const std::function<void(const std::string&)>& on_row);
+
+}  // namespace ucr::svc

@@ -1,0 +1,133 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "svc/socket.hpp"
+
+namespace ucr::svc {
+
+namespace {
+
+std::string error_json(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json::escape(message) + "\"}";
+}
+
+std::string status_json(const JobStatus& status, bool done) {
+  std::string out = done ? "{\"ok\":true,\"done\":true" : "{\"ok\":true";
+  out += ",\"job\":\"" + json::escape(status.id) + "\"";
+  out += ",\"state\":\"";
+  out += job_state_name(status.state);
+  out += "\",\"spec_hash\":\"" + status.spec_hash + "\"";
+  out += ",\"total\":" + std::to_string(status.total_cells);
+  out += ",\"completed\":" + std::to_string(status.completed_cells);
+  out += ",\"cache_hits\":" + std::to_string(status.cache_hits);
+  if (!status.error.empty()) {
+    out += ",\"error\":\"" + json::escape(status.error) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void handle_stream(LineSocket& socket, SweepService& service,
+                   const std::string& job_id) {
+  std::size_t next_row = 0;
+  while (true) {
+    std::vector<std::string> rows;
+    const JobStatus status = service.wait_rows(job_id, next_row, rows);
+    for (const std::string& row : rows) socket.send_line(row);
+    next_row += rows.size();
+    if (job_state_terminal(status.state) &&
+        next_row >= status.completed_cells) {
+      socket.send_line(status_json(status, /*done=*/true));
+      return;
+    }
+  }
+}
+
+void handle_connection(LineSocket socket, SweepService& service,
+                       std::atomic<bool>& stop_flag,
+                       const std::string& socket_path) {
+  try {
+    while (true) {
+      const std::optional<std::string> line = socket.recv_line();
+      if (!line.has_value()) return;  // client hung up
+      if (line->empty()) continue;
+      try {
+        const json::Value request = json::parse(*line);
+        const std::string& cmd = request.at("cmd").as_string();
+        if (cmd == "ping") {
+          socket.send_line("{\"ok\":true,\"pong\":true}");
+        } else if (cmd == "submit") {
+          const std::string id =
+              service.submit(request.at("spec").as_string());
+          socket.send_line(status_json(service.status(id), /*done=*/false));
+        } else if (cmd == "status") {
+          socket.send_line(status_json(
+              service.status(request.at("job").as_string()),
+              /*done=*/false));
+        } else if (cmd == "cancel") {
+          socket.send_line(status_json(
+              service.cancel(request.at("job").as_string()),
+              /*done=*/false));
+        } else if (cmd == "stream") {
+          handle_stream(socket, service, request.at("job").as_string());
+        } else if (cmd == "shutdown") {
+          socket.send_line("{\"ok\":true,\"shutting_down\":true}");
+          stop_flag.store(true);
+          // Wake the accept loop with a throwaway connection; it rechecks
+          // the flag after every accept.
+          try {
+            connect_unix(socket_path);
+          } catch (const ContractViolation&) {
+            // The listener may already be gone — flag is set either way.
+          }
+          return;
+        } else {
+          socket.send_line(error_json(
+              "unknown cmd '" + cmd +
+              "' (ping, submit, status, stream, cancel, shutdown)"));
+        }
+      } catch (const ContractViolation& e) {
+        socket.send_line(error_json(e.what()));
+      }
+    }
+  } catch (const ContractViolation&) {
+    // Transport failure mid-exchange (peer vanished): drop the connection;
+    // the daemon itself stays up.
+  }
+}
+
+}  // namespace
+
+void run_server(int listen_fd, const std::string& socket_path,
+                SweepService& service) {
+  std::atomic<bool> stop_flag{false};
+  std::vector<std::thread> handlers;
+  while (!stop_flag.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener broken — shut down rather than spin
+    }
+    LineSocket connection(fd);
+    if (stop_flag.load()) break;  // the shutdown wake-up connection
+    handlers.emplace_back(handle_connection, std::move(connection),
+                          std::ref(service), std::ref(stop_flag),
+                          socket_path);
+  }
+  for (std::thread& handler : handlers) handler.join();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+}
+
+}  // namespace ucr::svc

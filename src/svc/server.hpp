@@ -1,0 +1,37 @@
+// The sweep daemon's wire protocol: line-oriented JSON over an AF_UNIX
+// stream socket (docs/SERVICE.md is the protocol reference).
+//
+// One request object per line; the verbs are:
+//
+//   {"cmd":"ping"}                    -> {"ok":true,"pong":true}
+//   {"cmd":"submit","spec":TEXT}      -> job status (the id is "job")
+//   {"cmd":"status","job":ID}         -> job status
+//   {"cmd":"cancel","job":ID}        -> job status after the request
+//   {"cmd":"stream","job":ID}        -> every JSONL result row of the job
+//                                       as its own line, in grid order, as
+//                                       cells complete; then one final
+//                                       {"ok":true,"done":true,...} status
+//   {"cmd":"shutdown"}               -> {"ok":true,"shutting_down":true}
+//
+// Every failure — malformed JSON, unknown verb, bad spec, unknown job —
+// answers {"ok":false,"error":MESSAGE} on the offending request and keeps
+// the connection open. A connection serves any number of requests;
+// `stream`'s rows are raw JsonlSink output (no "ok" member), so clients
+// can forward them byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "svc/service.hpp"
+
+namespace ucr::svc {
+
+/// Serves the protocol on an already-listening socket (listen_unix),
+/// thread-per-connection. Blocks until a `shutdown` request arrives, then
+/// joins every handler, closes the fd and unlinks `socket_path`. Jobs
+/// still queued keep running inside `service` — the caller decides
+/// whether to drain (service.stop()) or cancel them.
+void run_server(int listen_fd, const std::string& socket_path,
+                SweepService& service);
+
+}  // namespace ucr::svc

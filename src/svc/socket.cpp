@@ -1,0 +1,108 @@
+#include "svc/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace ucr::svc {
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  UCR_REQUIRE(path.size() < sizeof(address.sun_path),
+              "socket path '" + path + "' exceeds the AF_UNIX limit of " +
+                  std::to_string(sizeof(address.sun_path) - 1) + " bytes");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+LineSocket::~LineSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+LineSocket::LineSocket(LineSocket&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void LineSocket::send_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    UCR_REQUIRE(n > 0, std::string("socket send failed: ") +
+                           std::strerror(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> LineSocket::recv_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    UCR_REQUIRE(n >= 0, std::string("socket recv failed: ") +
+                            std::strerror(errno));
+    if (n == 0) {
+      UCR_REQUIRE(buffer_.empty(),
+                  "peer closed the connection mid-line");
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+LineSocket connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  UCR_REQUIRE(fd >= 0, std::string("cannot create socket: ") +
+                           std::strerror(errno));
+  const sockaddr_un address = make_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int error = errno;
+    ::close(fd);
+    throw ContractViolation("cannot connect to daemon socket '" + path +
+                            "': " + std::strerror(error) +
+                            " (is ucr_servd running?)");
+  }
+  return LineSocket(fd);
+}
+
+int listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  UCR_REQUIRE(fd >= 0, std::string("cannot create socket: ") +
+                           std::strerror(errno));
+  const sockaddr_un address = make_address(path);
+  // The daemon owns its path: a leftover file from a crashed instance
+  // would make bind fail forever, so replace it.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int error = errno;
+    ::close(fd);
+    throw ContractViolation("cannot listen on socket '" + path +
+                            "': " + std::strerror(error));
+  }
+  return fd;
+}
+
+}  // namespace ucr::svc

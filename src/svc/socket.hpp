@@ -1,0 +1,49 @@
+// AF_UNIX stream sockets with line framing — the transport under the
+// sweep daemon's wire protocol (svc/server.hpp). Deliberately tiny: the
+// protocol is one JSON message per '\n'-terminated line, so all a peer
+// needs is connect/listen, send_line, and recv_line.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ucr::svc {
+
+/// RAII wrapper of a connected stream socket with buffered line reads.
+class LineSocket {
+ public:
+  /// Takes ownership of a connected fd.
+  explicit LineSocket(int fd) : fd_(fd) {}
+  ~LineSocket();
+
+  LineSocket(LineSocket&& other) noexcept;
+  LineSocket& operator=(LineSocket&&) = delete;
+  LineSocket(const LineSocket&) = delete;
+  LineSocket& operator=(const LineSocket&) = delete;
+
+  /// Writes `line` plus a trailing '\n' (the line must not contain raw
+  /// newlines — JSON escaping guarantees that for protocol messages).
+  /// Throws ContractViolation on transport failure.
+  void send_line(const std::string& line);
+
+  /// Next '\n'-terminated line, without the terminator; nullopt on a
+  /// clean EOF at a line boundary. Throws on transport failure or EOF
+  /// mid-line.
+  std::optional<std::string> recv_line();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Connects to a listening AF_UNIX socket; throws ContractViolation
+/// naming the path when the daemon is not there.
+LineSocket connect_unix(const std::string& path);
+
+/// Binds and listens on `path`, replacing any stale socket file (the
+/// daemon owns its path). Returns the listening fd; throws on failure.
+int listen_unix(const std::string& path);
+
+}  // namespace ucr::svc

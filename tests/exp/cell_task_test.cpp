@@ -1,0 +1,84 @@
+// CellTask — the resumable unit under run(): enumeration mirrors the
+// plan, keys are the provenance pair, and a task executed on its own
+// reproduces exactly what the full sweep computes for that cell.
+#include "exp/cell_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/spec_io.hpp"
+
+namespace ucr::exp {
+namespace {
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.runs = 3;
+  spec.seed = 77;
+  spec.with_ks({10, 40});
+  spec.with_arrival(ArrivalSpec::batch());
+  spec.with_arrival(ArrivalSpec::poisson(0.3));
+  for (const auto& p : paper_protocols()) spec.with_factory(p);
+  return spec;
+}
+
+TEST(CellTask, EnumerationMirrorsThePlan) {
+  const ExperimentPlan plan = compile(small_spec());
+  const std::vector<CellTask> tasks = enumerate_cell_tasks(plan);
+  ASSERT_EQ(tasks.size(), plan.cells.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].spec_hash, plan.spec_hash);
+    EXPECT_EQ(tasks[i].cell.index, plan.cells[i].index);
+    EXPECT_EQ(tasks[i].cell.protocol, plan.cells[i].protocol);
+    EXPECT_EQ(tasks[i].point.factory.name, plan.points[i].factory.name);
+    EXPECT_EQ(tasks[i].key(), plan.spec_hash + "/cell-" +
+                                  std::to_string(plan.cells[i].index));
+  }
+}
+
+TEST(CellTask, StandaloneExecutionMatchesTheSweep) {
+  const ExperimentPlan plan = compile(small_spec());
+  const std::vector<AggregateResult> swept = run_collect(plan, {2});
+  const std::vector<CellTask> tasks = enumerate_cell_tasks(plan);
+  ASSERT_EQ(tasks.size(), swept.size());
+  // Execute each task in isolation (serially, out of any pool) — the
+  // portability claim behind both the cache and the daemon is that a cell
+  // is a pure function of the spec.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const CellResult result = tasks[i].execute();
+    EXPECT_EQ(result.cell.index, plan.cells[i].index);
+    EXPECT_EQ(result.aggregate.protocol, swept[i].protocol);
+    EXPECT_EQ(result.aggregate.k, swept[i].k);
+    EXPECT_EQ(result.aggregate.runs, swept[i].runs);
+    EXPECT_EQ(result.aggregate.incomplete_runs, swept[i].incomplete_runs);
+    EXPECT_EQ(result.aggregate.makespan.mean, swept[i].makespan.mean);
+    EXPECT_EQ(result.aggregate.makespan.stddev, swept[i].makespan.stddev);
+    EXPECT_EQ(result.aggregate.makespan.min, swept[i].makespan.min);
+    EXPECT_EQ(result.aggregate.makespan.max, swept[i].makespan.max);
+    EXPECT_EQ(result.aggregate.ratio.mean, swept[i].ratio.mean);
+    EXPECT_EQ(result.aggregate.energy_mean, swept[i].energy_mean);
+    ASSERT_EQ(result.aggregate.details.size(), swept[i].details.size());
+    for (std::size_t r = 0; r < result.aggregate.details.size(); ++r) {
+      EXPECT_EQ(result.aggregate.details[r].slots,
+                swept[i].details[r].slots);
+    }
+  }
+}
+
+TEST(CellTask, RunDriverEqualsDirectTaskExecution) {
+  // run() is a thin driver over the tasks: its emitted aggregates are the
+  // tasks' own outputs, in grid order.
+  const ExperimentPlan plan = compile(small_spec());
+  const std::vector<CellTask> tasks = enumerate_cell_tasks(plan);
+  const std::vector<AggregateResult> swept = run_collect(plan, {3});
+  ASSERT_EQ(swept.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].execute().aggregate.makespan.mean,
+              swept[i].makespan.mean);
+  }
+}
+
+}  // namespace
+}  // namespace ucr::exp

@@ -1,0 +1,201 @@
+// SweepService + the socket protocol, end to end in-process: submit /
+// stream round-trips match a direct run byte for byte, a warm resubmit is
+// 100% cache hits, cancellation stops at a cell boundary, and malformed
+// requests answer errors without killing the daemon.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/sink.hpp"
+#include "exp/spec_io.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/socket.hpp"
+
+namespace ucr::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small but non-trivial sweep as canonical spec text.
+std::string small_spec_text() {
+  exp::SpecFile file;
+  file.spec.runs = 2;
+  file.spec.seed = 321;
+  file.spec.with_ks({10, 30});
+  file.spec.with_arrival(exp::ArrivalSpec::batch());
+  file.spec.with_arrival(exp::ArrivalSpec::poisson(0.3));
+  for (const auto& p : paper_protocols()) file.spec.with_protocol(p.name);
+  return exp::to_text(file);
+}
+
+/// The JSONL a direct `--format=jsonl` run of the same spec emits.
+std::string direct_jsonl(const std::string& spec_text) {
+  const exp::SpecFile file = exp::parse_spec(spec_text);
+  const exp::ExperimentPlan plan =
+      exp::compile(file.spec, default_catalogue());
+  std::ostringstream out;
+  exp::JsonlSink sink(out);
+  exp::run(plan, {&sink}, {2});
+  return out.str();
+}
+
+TEST(SweepService, SubmitWaitRowsMatchesDirectRun) {
+  const std::string text = small_spec_text();
+  SweepService service({"", 2});
+  const std::string id = service.submit(text);
+  EXPECT_EQ(id, "job-1");
+
+  std::vector<std::string> rows;
+  std::size_t cursor = 0;
+  JobStatus status;
+  do {
+    std::vector<std::string> fresh;
+    status = service.wait_rows(id, cursor, fresh);
+    cursor += fresh.size();
+    for (auto& row : fresh) rows.push_back(std::move(row));
+  } while (!job_state_terminal(status.state) ||
+           cursor < status.completed_cells);
+
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_EQ(status.completed_cells, status.total_cells);
+  EXPECT_EQ(status.cache_hits, 0u);
+  EXPECT_TRUE(status.error.empty());
+
+  std::string streamed;
+  for (const auto& row : rows) streamed += row + "\n";
+  EXPECT_EQ(streamed, direct_jsonl(text));
+  service.stop();
+}
+
+TEST(SweepService, WarmResubmitIsAllCacheHits) {
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "ucr_service_cache_test";
+  fs::remove_all(root);
+  {
+    SweepService service({root.string(), 2});
+    const std::string text = small_spec_text();
+    const JobStatus first = service.wait(service.submit(text));
+    EXPECT_EQ(first.state, JobState::kDone);
+    EXPECT_EQ(first.cache_hits, 0u);
+    const JobStatus second = service.wait(service.submit(text));
+    EXPECT_EQ(second.state, JobState::kDone);
+    EXPECT_EQ(second.cache_hits, second.total_cells);
+    // Both jobs stream identical rows.
+    std::vector<std::string> rows_a, rows_b;
+    service.wait_rows(first.id, 0, rows_a);
+    service.wait_rows(second.id, 0, rows_b);
+    EXPECT_EQ(rows_a, rows_b);
+    service.stop();
+  }
+  // The cache outlives the service: a fresh daemon replays it too.
+  {
+    SweepService service({root.string(), 2});
+    const JobStatus replay = service.wait(service.submit(small_spec_text()));
+    EXPECT_EQ(replay.cache_hits, replay.total_cells);
+    service.stop();
+  }
+  fs::remove_all(root);
+}
+
+TEST(SweepService, MalformedSpecIsRejectedAtSubmitTime) {
+  SweepService service({"", 1});
+  EXPECT_THROW(service.submit("not a spec"), ContractViolation);
+  EXPECT_THROW(service.submit("spec_version = 1\nprotocols = Nope\n"),
+               ContractViolation);
+  EXPECT_THROW(service.status("job-9"), ContractViolation);
+  service.stop();
+}
+
+TEST(SweepService, CancelStopsAQueuedJob) {
+  SweepService service({"", 1});
+  // Two jobs: the first occupies the executor, the second is cancelled
+  // while still queued and never runs.
+  const std::string first = service.submit(small_spec_text());
+  const std::string second = service.submit(small_spec_text());
+  service.cancel(second);
+  const JobStatus final_second = service.wait(second);
+  if (final_second.state == JobState::kCancelled) {
+    // The normal interleaving: the cancel landed while job-2 was still
+    // queued behind job-1, so it never ran a cell.
+    EXPECT_EQ(final_second.completed_cells, 0u);
+  } else {
+    // The executor finished job-1 and popped job-2 between our submit and
+    // cancel — then the job legitimately ran to completion.
+    EXPECT_EQ(final_second.state, JobState::kDone);
+  }
+  EXPECT_EQ(service.wait(first).state, JobState::kDone);
+  EXPECT_EQ(service.snapshot().size(), 2u);
+  service.stop();
+}
+
+TEST(ServerRoundTrip, SocketProtocolMatchesDirectRun) {
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "ucr_server_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string socket_path = (root / "d.sock").string();
+
+  SweepService service({(root / "cache").string(), 2});
+  const int listen_fd = listen_unix(socket_path);
+  std::thread server(
+      [&] { run_server(listen_fd, socket_path, service); });
+
+  const std::string text = small_spec_text();
+  const json::Value pong = request(socket_path, simple_request("ping"));
+  EXPECT_TRUE(pong.at("pong").as_bool());
+
+  // Submit + stream, twice: identical bytes, second run fully cached.
+  std::string first_rows, second_rows;
+  const json::Value submitted =
+      request(socket_path, submit_request(text));
+  const StreamResult first =
+      stream_job(socket_path, submitted.at("job").as_string(),
+                 [&](const std::string& row) { first_rows += row + "\n"; });
+  EXPECT_EQ(first.state, "done");
+  EXPECT_EQ(first.cache_hits, 0u);
+
+  const json::Value resubmitted =
+      request(socket_path, submit_request(text));
+  const StreamResult second = stream_job(
+      socket_path, resubmitted.at("job").as_string(),
+      [&](const std::string& row) { second_rows += row + "\n"; });
+  EXPECT_EQ(second.state, "done");
+  EXPECT_EQ(second.completed, second.total);
+  EXPECT_EQ(second.cache_hits, second.total);
+
+  const std::string direct = direct_jsonl(text);
+  EXPECT_EQ(first_rows, direct);
+  EXPECT_EQ(second_rows, direct);
+
+  // Protocol errors answer without dropping the daemon.
+  EXPECT_THROW(request(socket_path, "this is not json"),
+               ContractViolation);
+  EXPECT_THROW(request(socket_path, simple_request("frobnicate")),
+               ContractViolation);
+  EXPECT_THROW(request(socket_path, job_request("status", "job-99")),
+               ContractViolation);
+  const json::Value status =
+      request(socket_path, job_request("status", "job-1"));
+  EXPECT_EQ(status.at("state").as_string(), "done");
+
+  request(socket_path, simple_request("shutdown"));
+  server.join();
+  // The daemon unlinked its socket on the way out.
+  EXPECT_FALSE(fs::exists(socket_path));
+  service.stop();
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ucr::svc

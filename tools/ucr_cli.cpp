@@ -22,7 +22,11 @@
 //   ucr_cli --protocol="Exp Back-on/Back-off" --k=100000
 //           --arrivals=poisson --lambda=0.02 --engine=node_batched
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -33,6 +37,11 @@
 #include "exp/run.hpp"
 #include "exp/sink.hpp"
 #include "exp/spec_io.hpp"
+#include "svc/client.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/socket.hpp"
 
 namespace {
 
@@ -107,9 +116,149 @@ int usage(const std::string& error) {
          "  --threads=N       sweep worker threads, N >= 1 (default: all\n"
          "                    cores; results are identical for every N)\n"
          "  --format=table|csv|jsonl   output format (default table)\n"
-         "  --csv=1           alias for --format=csv\n";
+         "  --csv=1           alias for --format=csv\n"
+         "cached / resumable execution (docs/SERVICE.md):\n"
+         "  --cache=DIR       attach the on-disk result cache: cells\n"
+         "                    already banked under the spec's provenance\n"
+         "                    key replay byte-identically instead of\n"
+         "                    recomputing, fresh cells are banked before\n"
+         "                    they are emitted — kill + rerun = resume\n"
+         "  --list-cells      print the compiled grid (cell index,\n"
+         "                    protocol, k, arrivals, channel, engine)\n"
+         "                    without running anything\n"
+         "  --abort-after-cells=N  fault injection for resume testing:\n"
+         "                    fail loudly once N cells have been emitted\n"
+         "daemon client (needs a running ucr_servd; docs/SERVICE.md):\n"
+         "  --serve --socket=PATH [--cache=DIR]\n"
+         "                    run the sweep daemon in-process (the\n"
+         "                    standalone spelling is ucr_servd)\n"
+         "  --submit=FILE --socket=PATH [--wait]\n"
+         "                    submit a spec file; --wait streams the\n"
+         "                    job's JSONL rows to stdout (byte-identical\n"
+         "                    to --spec=FILE --format=jsonl) and prints\n"
+         "                    a summary to stderr, otherwise the job id\n"
+         "                    is printed and the job runs detached\n"
+         "  --status=JOB --socket=PATH    print a job's progress\n"
+         "  --cancel=JOB --socket=PATH    stop a job at its next cell\n"
+         "  --shutdown --socket=PATH      stop the daemon\n";
   return 2;
 }
+
+/// Whole file as a string; ContractViolation naming the path on failure.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  UCR_REQUIRE(in.is_open(), "cannot open spec file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  UCR_REQUIRE(!in.bad(), "cannot read spec file '" + path + "'");
+  return text.str();
+}
+
+/// "job job-2 done: 12/12 cells, 12 cache hits (100%)" — the CI service
+/// smoke greps the percentage, so keep the shape stable.
+std::string job_summary(const std::string& id, const std::string& state,
+                        std::uint64_t completed, std::uint64_t total,
+                        std::uint64_t cache_hits) {
+  std::string line = "job " + id + " " + state + ": " +
+                     std::to_string(completed) + "/" + std::to_string(total) +
+                     " cells, " + std::to_string(cache_hits) + " cache hits";
+  if (total > 0) {
+    line += " (" + std::to_string(cache_hits * 100 / total) + "%)";
+  }
+  return line;
+}
+
+/// The summary line of a status/cancel response.
+std::string job_summary(const ucr::json::Value& response) {
+  return job_summary(response.at("job").as_string(),
+                     response.at("state").as_string(),
+                     response.at("completed").as_u64(),
+                     response.at("total").as_u64(),
+                     response.at("cache_hits").as_u64());
+}
+
+/// Daemon and client modes (--serve / --submit / --status / --cancel /
+/// --shutdown), all addressed by --socket.
+int run_client(const ucr::CliArgs& args) {
+  const auto socket_path = args.get("socket");
+  if (!socket_path.has_value()) {
+    return usage("daemon and client modes need --socket=PATH");
+  }
+
+  if (args.get_bool("serve", false)) {
+    ucr::svc::SweepService::Options options;
+    if (const auto cache = args.get("cache")) options.cache_dir = *cache;
+    options.threads = ucr::thread_count_option(args, "UCR_THREADS");
+    ucr::svc::SweepService service(options);
+    const int listen_fd = ucr::svc::listen_unix(*socket_path);
+    std::cerr << "ucr_cli: serving on " << *socket_path << "\n";
+    ucr::svc::run_server(listen_fd, *socket_path, service);
+    service.stop();
+    return 0;
+  }
+  if (args.get_bool("shutdown", false)) {
+    ucr::svc::request(*socket_path, ucr::svc::simple_request("shutdown"));
+    std::cerr << "ucr_cli: daemon at " << *socket_path
+              << " shutting down\n";
+    return 0;
+  }
+  if (const auto job = args.get("status")) {
+    const auto response = ucr::svc::request(
+        *socket_path, ucr::svc::job_request("status", *job));
+    std::cout << job_summary(response) << "\n";
+    return 0;
+  }
+  if (const auto job = args.get("cancel")) {
+    const auto response = ucr::svc::request(
+        *socket_path, ucr::svc::job_request("cancel", *job));
+    std::cout << job_summary(response) << "\n";
+    return 0;
+  }
+
+  const auto spec_file = args.get("submit");
+  UCR_CHECK(spec_file.has_value(), "run_client dispatched without a mode");
+  const auto response = ucr::svc::request(
+      *socket_path, ucr::svc::submit_request(read_file(*spec_file)));
+  const std::string id = response.at("job").as_string();
+  if (!args.get_bool("wait", false)) {
+    std::cerr << "ucr_cli: submitted " << id << " ("
+              << response.at("total").number_token() << " cells, spec_hash "
+              << response.at("spec_hash").as_string() << ")\n";
+    std::cout << id << "\n";
+    return 0;
+  }
+  // --wait: only result rows on stdout, so the streamed output can be
+  // byte-compared against a direct `--spec=FILE --format=jsonl` run.
+  const ucr::svc::StreamResult result = ucr::svc::stream_job(
+      *socket_path, id,
+      [](const std::string& row) { std::cout << row << "\n"; });
+  std::cerr << "ucr_cli: "
+            << job_summary(id, result.state, result.completed, result.total,
+                           result.cache_hits);
+  if (!result.error.empty()) std::cerr << " — " << result.error;
+  std::cerr << "\n";
+  return result.state == "done" ? 0 : 1;
+}
+
+/// Fault-injection sink for resume tests: placed ahead of the output
+/// sinks, it fails loudly when the (N+1)th cell is emitted, so exactly N
+/// rows reach the output while cell N itself is already banked in the
+/// cache (run() stores before emitting).
+class AbortSink final : public ucr::exp::ResultSink {
+ public:
+  explicit AbortSink(std::uint64_t limit) : limit_(limit) {}
+  void emit(const ucr::exp::CellInfo&,
+            const ucr::AggregateResult&) override {
+    UCR_REQUIRE(emitted_ < limit_,
+                "aborting after " + std::to_string(limit_) +
+                    " cells (--abort-after-cells fault injection)");
+    ++emitted_;
+  }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t emitted_ = 0;
+};
 
 /// Splits a comma-separated list, rejecting empty items.
 std::vector<std::string> split_list(const std::string& text) {
@@ -301,6 +450,41 @@ int run_spec(const ucr::CliArgs& args) {
 
   const auto plan = ucr::exp::compile(spec, protocols);
 
+  // --list-cells: the flattened grid this plan would run (this shard's
+  // cells, full-grid indices), straight from the compiled plan — the
+  // address book for cache records and daemon job progress.
+  if (args.get_bool("list-cells", false)) {
+    std::cout << "spec_hash = " << plan.spec_hash << "\n";
+    std::cout << plan.cells.size() << " cells";
+    if (!plan.shard.is_whole()) {
+      std::cout << " (shard " << plan.shard.label() << " of "
+                << plan.total_cells << " total)";
+    }
+    std::cout << ":\n\n";
+    ucr::Table table(
+        {"cell", "protocol", "k", "arrivals", "channel", "engine"});
+    for (const auto& cell : plan.cells) {
+      table.add_row({std::to_string(cell.index), cell.protocol,
+                     std::to_string(cell.k), cell.arrival.label(),
+                     cell.channel.label(),
+                     ucr::exp::engine_mode_name(cell.engine)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  ucr::exp::RunOptions run_options;
+  run_options.threads = file.threads;
+  std::unique_ptr<ucr::svc::ResultCache> cache;
+  if (const auto cache_dir = args.get("cache")) {
+    cache = std::make_unique<ucr::svc::ResultCache>(*cache_dir);
+    run_options.cache = cache.get();
+  }
+  std::optional<AbortSink> abort_sink;
+  if (args.get("abort-after-cells")) {
+    abort_sink.emplace(args.get_u64("abort-after-cells", 0));
+  }
+
   // Streaming formats go straight to the sink — constant memory, rows
   // appear as the grid prefix completes.
   if (file.format != ucr::exp::OutputFormat::kTable) {
@@ -322,12 +506,19 @@ int run_spec(const ucr::CliArgs& args) {
      private:
       std::uint64_t* total_;
     } counting(incomplete);
-    ucr::exp::run(plan, {sink, &counting}, {file.threads});
+    std::vector<ucr::exp::ResultSink*> sinks;
+    if (abort_sink.has_value()) sinks.push_back(&*abort_sink);
+    sinks.push_back(sink);
+    sinks.push_back(&counting);
+    ucr::exp::run(plan, sinks, run_options);
     return incomplete == 0 ? 0 : 1;
   }
 
   ucr::exp::MemorySink memory;
-  ucr::exp::run(plan, {&memory}, {file.threads});
+  std::vector<ucr::exp::ResultSink*> sinks;
+  if (abort_sink.has_value()) sinks.push_back(&*abort_sink);
+  sinks.push_back(&memory);
+  ucr::exp::run(plan, sinks, run_options);
   const auto& results = memory.results();
   const auto& cells = memory.cells();
 
@@ -392,8 +583,16 @@ int run_cli(int argc, char** argv) {
                            "protocols", "k",
                            "ks", "kmax", "runs", "seed", "engine", "arrivals",
                            "lambda", "bursts", "gap", "channel", "max-slots",
-                           "shard", "threads", "csv", "format", "list"});
+                           "shard", "threads", "csv", "format", "list",
+                           "list-cells", "cache", "abort-after-cells",
+                           "serve", "socket", "submit", "wait", "status",
+                           "cancel", "shutdown"});
   if (args.get_bool("list", false)) return list_protocols();
+  if (args.get_bool("serve", false) || args.get("submit") ||
+      args.get("status") || args.get("cancel") ||
+      args.get_bool("shutdown", false)) {
+    return run_client(args);
+  }
   return run_spec(args);
 }
 
