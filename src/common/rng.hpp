@@ -274,4 +274,22 @@ class CounterRng {
   std::uint64_t counter_ = 0;
 };
 
+/// Domain-separation stream id of the window adapter's per-station offset
+/// draws (protocols/window_node.hpp). Any other protocol-private substream
+/// keyed from an engine-drawn seed must use a distinct id so two substreams
+/// derived from the same engine draw can never collide.
+inline constexpr std::uint64_t kWindowOffsetStreamId = 0x77696E646F7721ULL;
+
+/// Derives the per-station window-offset substream: one engine-stream draw
+/// keys a CounterRng under kWindowOffsetStreamId. Both per-node engines
+/// activate stations in arrival order with identical prior engine-stream
+/// consumption, so a station receives the same substream — and therefore
+/// the same pre-drawn in-window transmission slots — whichever engine runs
+/// it. This is the defined consumption order that keeps the exact and
+/// batched node engines bit-identical on window-protocol cells
+/// (docs/ARCHITECTURE.md "Pre-drawn window slots").
+inline CounterRng derive_window_offset_stream(Xoshiro256& engine_rng) {
+  return CounterRng::stream(engine_rng.next_u64(), kWindowOffsetStreamId);
+}
+
 }  // namespace ucr

@@ -37,9 +37,9 @@ ProtocolFactory make_exp_backon_factory(const ExpBackonParams& params,
   f.window = [params](std::uint64_t) {
     return std::make_unique<ExpBackonBackoff>(params);
   };
-  f.node = [params](std::uint64_t, Xoshiro256&) {
+  f.node = [params](std::uint64_t, Xoshiro256& rng) {
     return std::make_unique<WindowNodeProtocol>(
-        std::make_unique<ExpBackonBackoff>(params));
+        std::make_unique<ExpBackonBackoff>(params), rng);
   };
   return f;
 }

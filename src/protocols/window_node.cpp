@@ -4,39 +4,51 @@
 
 namespace ucr {
 
-WindowNodeProtocol::WindowNodeProtocol(std::unique_ptr<WindowSchedule> schedule)
-    : schedule_(std::move(schedule)) {
+WindowNodeProtocol::WindowNodeProtocol(std::unique_ptr<WindowSchedule> schedule,
+                                       Xoshiro256& engine_rng)
+    : schedule_(std::move(schedule)),
+      draws_(derive_window_offset_stream(engine_rng)) {
   UCR_REQUIRE(schedule_ != nullptr, "window adapter needs a schedule");
 }
 
-double WindowNodeProtocol::transmit_probability() {
-  if (offset_ == window_) {  // window exhausted (or first call): fetch next
-    window_ = schedule_->next_window_slots();
-    UCR_CHECK(window_ >= 1, "window schedule produced an empty window");
-    offset_ = 0;
-    sent_this_window_ = false;
-  }
-  if (sent_this_window_) return 0.0;
-  return 1.0 / static_cast<double>(window_ - offset_);
+void WindowNodeProtocol::fetch_window() {
+  window_ = schedule_->next_window_slots();
+  UCR_CHECK(window_ >= 1, "window schedule produced an empty window");
+  offset_ = 0;
+  tx_offset_ = draws_.next_below(window_);
 }
 
-void WindowNodeProtocol::on_slot_end(const Feedback& fb) {
-  if (fb.transmitted) sent_this_window_ = true;
+double WindowNodeProtocol::transmit_probability() {
+  if (offset_ == window_) fetch_window();  // window exhausted (or first call)
+  return offset_ == tx_offset_ ? 1.0 : 0.0;
+}
+
+void WindowNodeProtocol::on_slot_end(const Feedback& /*fb*/) {
+  // The pre-draw fixes the whole window at its start, so feedback carries
+  // no information this automaton can use: it transmits at tx_offset_ and
+  // only there, delivered or collided. The engine deactivates the station
+  // itself on delivered_mine.
   ++offset_;
 }
 
 std::uint64_t WindowNodeProtocol::stationary_slots() const {
   // Only meaningful right after transmit_probability() fetched the window
-  // (offset_ < window_ then). Before the in-window transmission the hazard
-  // changes every slot; after it the station is silent to the window end.
-  if (!sent_this_window_ || offset_ >= window_) return 1;
-  return window_ - offset_;
+  // (offset_ < window_ then).
+  if (offset_ >= window_) return 1;
+  if (offset_ < tx_offset_) return tx_offset_ - offset_;  // silent run-up
+  if (offset_ == tx_offset_) return 1;  // the transmission slot itself
+  return window_ - offset_;             // silent tail to the window end
 }
 
 void WindowNodeProtocol::on_non_delivery_slots(std::uint64_t count) {
   if (count == 0) return;
-  UCR_CHECK(sent_this_window_ && count <= window_ - offset_,
-            "bulk advance beyond the stationary window remainder");
+  const std::uint64_t certified = offset_ < window_ && offset_ != tx_offset_
+                                      ? (offset_ < tx_offset_
+                                             ? tx_offset_ - offset_
+                                             : window_ - offset_)
+                                      : 0;
+  UCR_CHECK(count <= certified,
+            "bulk advance beyond the certified stationary stretch");
   offset_ += count;
 }
 

@@ -259,7 +259,12 @@ RunMetrics run_node_engine_batched(const NodeFactory& factory,
     // the stretch, the skipped slots split into silence vs collision with
     // one binomial draw, and every station advances in bulk. Only the
     // state-changing slot — the success, if the run ended in one — is
-    // materialized.
+    // materialized. Deterministic silence (p_sum == 0, the pre-drawn
+    // window adapter's certified run-ups and tails) flows through the same
+    // code draw-free: the truncated geometric at s == 0 returns the full
+    // stretch and the binomial at conditional == 1 returns it back without
+    // touching the engine stream, preserving bit-identity with the exact
+    // engine across the skip.
     const std::uint64_t failures =
         sample_geometric_failures(rng, law.s, stretch);
     const bool delivered = failures < stretch;

@@ -64,10 +64,14 @@ RunMetrics run_node_engine(const NodeFactory& factory,
 /// the exact engine's per-station draws in the same order, and skipping an
 /// empty-channel stretch consumes no randomness at all — so a workload
 /// whose stations all keep the default hint of 1 is bit-identical to
-/// run_node_engine from the same seed, while stretches certified by hints
-/// > 1 consume randomness differently and are pinned statistically
-/// (tests/integration/node_batched_test.cpp), exactly like the batched
-/// fair engines.
+/// run_node_engine from the same seed. Stretches certified by hints > 1
+/// generally consume randomness differently and are pinned statistically
+/// (tests/integration/node_batched_test.cpp) — except when every
+/// probability in the stretch is an exact 0 or 1, as with the pre-drawn
+/// window adapter (protocols/window_node.hpp): Bernoulli, geometric and
+/// binomial draws are all draw-free at degenerate p, so window-protocol
+/// cells are bit-identical between the two engines even while skipping
+/// (pinned byte-for-byte by the dynamic-arrivals golden test).
 ///
 /// Accounting: RunMetrics::transmissions counts materialized slots only;
 /// expected_transmissions carries realized counts for materialized slots

@@ -51,6 +51,17 @@ class NodeProtocol {
   /// batched node engine skips min-over-stations stretches. The
   /// conservative default of 1 keeps every protocol on the exact per-slot
   /// path (bit-identical to run_node_engine from the same seed).
+  ///
+  /// A protocol that resolves its randomness ahead of time can certify
+  /// long deterministic stretches even before it first transmits: the
+  /// window adapter (protocols/window_node.hpp) pre-draws its one
+  /// in-window transmission slot from a private substream, so every slot
+  /// it reports has probability exactly 0 or 1 and the certificate spans
+  /// the whole silent run to the next probability change. That pattern —
+  /// moving protocol randomness out of the engine stream so the remaining
+  /// per-slot law is degenerate — is what lets the batched engine skip
+  /// dense dynamic cells instead of degenerating to one exact slot per
+  /// not-yet-transmitted station.
   virtual std::uint64_t stationary_slots() const { return 1; }
 
   /// Bulk equivalent of `count` consecutive on_slot_end calls with

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -72,13 +73,64 @@ inline void expect_collision_agreement(const AggregateResult& exact,
       << " batched collisions=" << batched_coll.mean;
 }
 
-/// The full check used by the per-node suite: makespan plus collisions.
+/// Per-run quantile of the per-message latency distribution, summarized
+/// across runs. Requires the ensemble to have been run with
+/// EngineOptions::record_latencies (RunMetrics::latencies is empty
+/// otherwise and the returned summary has count 0).
+inline Summary latency_quantile_summary(const AggregateResult& result,
+                                        double q) {
+  std::vector<double> values;
+  values.reserve(result.details.size());
+  for (const auto& run : result.details) {
+    if (run.latencies.empty()) continue;
+    std::vector<double> sorted(run.latencies.begin(), run.latencies.end());
+    std::sort(sorted.begin(), sorted.end());
+    values.push_back(quantile_sorted(sorted, q));
+  }
+  return summarize(values);
+}
+
+/// Per-message timing agreement: the per-run latency p50 and p95 means of
+/// the two ensembles agree within 4 * combined SE + 3% + 2 slots.
+/// Makespan catches only the last delivery and collisions only the
+/// contention envelope — a stretch sampler that displaced deliveries
+/// *within* runs (per-message timing skew from slot skipping) could pass
+/// both while shifting every latency; the percentile check closes that
+/// hole. The additive 2 covers near-instant-delivery cells where a
+/// relative allowance vanishes.
+inline void expect_latency_agreement(const AggregateResult& exact,
+                                     const AggregateResult& batched,
+                                     const std::string& label) {
+  for (const double q : {0.5, 0.95}) {
+    const Summary exact_lat = latency_quantile_summary(exact, q);
+    const Summary batched_lat = latency_quantile_summary(batched, q);
+    ASSERT_GT(exact_lat.count, 0u)
+        << label << ": exact ensemble recorded no latencies (missing "
+        << "EngineOptions::record_latencies?)";
+    ASSERT_GT(batched_lat.count, 0u)
+        << label << ": batched ensemble recorded no latencies (missing "
+        << "EngineOptions::record_latencies?)";
+    const double tol = 4.0 * std::hypot(standard_error(exact_lat),
+                                        standard_error(batched_lat)) +
+                       0.03 * exact_lat.mean + 2.0;
+    EXPECT_NEAR(exact_lat.mean, batched_lat.mean, tol)
+        << label << ": latency p" << static_cast<int>(q * 100)
+        << " exact=" << exact_lat.mean << " batched=" << batched_lat.mean;
+  }
+}
+
+/// The full check used by the per-node suite: makespan plus collisions,
+/// plus latency percentiles when both ensembles recorded latencies.
 inline void expect_statistical_agreement(const AggregateResult& exact,
                                          const AggregateResult& batched,
                                          const std::string& label,
                                          double systematic_frac = 0.02) {
   expect_makespan_agreement(exact, batched, label, systematic_frac);
   expect_collision_agreement(exact, batched, label);
+  if (latency_quantile_summary(exact, 0.5).count > 0 &&
+      latency_quantile_summary(batched, 0.5).count > 0) {
+    expect_latency_agreement(exact, batched, label);
+  }
 }
 
 }  // namespace ucr::testutil

@@ -1,0 +1,85 @@
+// Dense-arrival statistical equivalence: node vs node_batched over every
+// catalogued window protocol on the workloads the pre-drawn window slots
+// (protocols/window_node.hpp) were built for — sustained Poisson cells at
+// lambda in {0.01, 0.1}, where some station is almost always mid-window
+// so the batched engine's skip runs on pre-drawn certificates rather than
+// empty arrival gaps, plus a contention-heavy burst cell. Ensembles are
+// independently seeded, so agreement is checked statistically (makespan,
+// collisions, latency percentiles) through tests/common/stat_equiv.hpp;
+// the same cells at k = 10^5 run under the `slow` label in
+// node_dense_equiv_slow_test.cpp. Same-seed bit-identity — which for
+// window protocols also holds — is pinned separately in
+// node_batched_test.cpp; the different-seed check here is what survives
+// if the two engines ever stop sharing a draw-for-draw RNG path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sim/runner.hpp"
+#include "tests/common/stat_equiv.hpp"
+
+namespace ucr {
+namespace {
+
+/// Every catalogued protocol with a window view (the WindowNodeProtocol
+/// adapter is exactly the `node` factory of these).
+std::vector<ProtocolFactory> window_protocols() {
+  std::vector<ProtocolFactory> selected;
+  for (auto& p : all_protocols()) {
+    if (p.window && p.node) selected.push_back(p);
+  }
+  EXPECT_GE(selected.size(), 3u);  // the catalogue ships three
+  return selected;
+}
+
+EngineOptions exact_options() {
+  EngineOptions options;
+  options.record_latencies = true;
+  return options;
+}
+
+EngineOptions batched_options() {
+  EngineOptions options = exact_options();
+  options.batched = true;
+  return options;
+}
+
+void expect_dense_agreement(const ArrivalPattern& arrivals,
+                            const std::string& cell_label,
+                            std::uint64_t exact_seed,
+                            std::uint64_t batched_seed) {
+  const std::uint64_t runs = 100;
+  for (const auto& factory : window_protocols()) {
+    const AggregateResult exact = run_node_experiment(
+        factory, arrivals, runs, exact_seed, exact_options());
+    const AggregateResult batched = run_node_experiment(
+        factory, arrivals, runs, batched_seed, batched_options());
+    testutil::expect_statistical_agreement(
+        exact, batched, factory.name + " (" + cell_label + ")");
+  }
+}
+
+TEST(NodeDenseEquivalence, PoissonLambda001Agrees) {
+  Xoshiro256 arrival_rng = Xoshiro256::stream(61, 0);
+  const auto arrivals = poisson_arrivals(240, 0.01, arrival_rng);
+  expect_dense_agreement(arrivals, "poisson 0.01", 5111, 5222);
+}
+
+TEST(NodeDenseEquivalence, PoissonLambda01Agrees) {
+  Xoshiro256 arrival_rng = Xoshiro256::stream(62, 0);
+  const auto arrivals = poisson_arrivals(240, 0.1, arrival_rng);
+  expect_dense_agreement(arrivals, "poisson 0.1", 5333, 5444);
+}
+
+TEST(NodeDenseEquivalence, BurstCellAgrees) {
+  // Per-burst contention is where the stretch sampler's collision
+  // envelope would show a modeling error; 6 bursts of 40 keep multiple
+  // stations mid-window for most of the run.
+  const auto arrivals = burst_arrivals(6, 40, 300);
+  expect_dense_agreement(arrivals, "burst", 5555, 5666);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -14,7 +14,12 @@ Three checks, all hard failures:
 3. The reverse: every `specs/*.spec` file on disk must be referenced
    from at least one of those documents — an undocumented sweep is a
    sweep nobody will run.
-4. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
+4. Every section pointer of the form `docs/<file>.md "Section title"`
+   in a source comment (src/, tests/, bench/, tools/) must name a real
+   markdown heading of that document — e.g. the RNG helpers cite
+   docs/ARCHITECTURE.md "Pre-drawn window slots", so renaming that
+   section without updating the pointers fails here.
+5. With --cli=<path to ucr_cli>, every protocol name `ucr_cli --list`
    prints must appear as a `## <name>` section heading in
    docs/PROTOCOLS.md — the same contract the tier-1 drift test
    (tests/docs/protocols_doc_test.cpp) enforces, re-checked here from
@@ -33,6 +38,8 @@ import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SPEC_REF_RE = re.compile(r"specs/[A-Za-z0-9._-]+\.spec")
+SECTION_REF_RE = re.compile(r"docs/([A-Za-z0-9._-]+\.md) \"([^\"]+)\"")
+HEADING_RE = re.compile(r"^#{1,6} +(.+?)\s*$", re.MULTILINE)
 
 
 def iter_doc_files(root: pathlib.Path):
@@ -94,6 +101,36 @@ def check_spec_coverage(root: pathlib.Path) -> list[str]:
     return errors
 
 
+def check_section_refs(root: pathlib.Path) -> list[str]:
+    """Every `docs/<file>.md "Section"` pointer in a source comment must
+    name a real heading of that document."""
+    headings: dict[str, set[str]] = {}
+    errors = []
+    for tree in ("src", "tests", "bench", "tools"):
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for ext in ("*.hpp", "*.cpp", "*.py"):
+            for source in sorted(base.rglob(ext)):
+                text = source.read_text(encoding="utf-8",
+                                        errors="replace")
+                for doc_name, section in SECTION_REF_RE.findall(text):
+                    if doc_name not in headings:
+                        doc = root / "docs" / doc_name
+                        headings[doc_name] = (
+                            set(HEADING_RE.findall(
+                                doc.read_text(encoding="utf-8")))
+                            if doc.is_file() else set()
+                        )
+                    if section not in headings[doc_name]:
+                        errors.append(
+                            f"{source.relative_to(root)}: cites "
+                            f"docs/{doc_name} \"{section}\", which is "
+                            "not a heading there"
+                        )
+    return errors
+
+
 def registered_names(cli: str) -> list[str]:
     out = subprocess.run(
         [cli, "--list"], check=True, capture_output=True, text=True
@@ -142,7 +179,7 @@ def main() -> int:
         return 2
 
     errors = (check_links(root) + check_spec_refs(root)
-              + check_spec_coverage(root))
+              + check_spec_coverage(root) + check_section_refs(root))
     if args.cli:
         try:
             errors += check_protocol_catalog(root, args.cli)
@@ -155,7 +192,7 @@ def main() -> int:
         print(f"FAIL: {error}")
     if errors:
         return 1
-    checked = "links + spec refs + spec coverage" + (
+    checked = "links + spec refs + spec coverage + section refs" + (
         " + protocol catalog" if args.cli else ""
     )
     print(f"docs check ok ({checked})")
