@@ -14,6 +14,8 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/samplers.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/workers.hpp"
 #include "core/exp_backon_backoff.hpp"
 #include "core/one_fail_adaptive.hpp"
 #include "core/registry.hpp"
@@ -29,6 +31,10 @@
 
 #ifndef UCR_ENGINE_MICRO_SPEC
 #define UCR_ENGINE_MICRO_SPEC "specs/engine-micro.spec"
+#endif
+
+#ifndef UCR_CLI_DEFAULT
+#define UCR_CLI_DEFAULT ""
 #endif
 
 namespace {
@@ -296,6 +302,63 @@ void BM_CachedSweep(benchmark::State& state) {
   fs::remove_all(root);
 }
 BENCHMARK(BM_CachedSweep)->MeasureProcessCPUTime()->UseRealTime();
+
+// Coordinator dispatch overhead (docs/ORCHESTRATOR.md): the same
+// versioned workload fanned out over two local workers with warm
+// per-worker result caches, so every cell replays from cache and what
+// remains is the orchestration itself — overlay writing, one fork/exec
+// of the real ucr_cli per shard, progress polling, shard-output
+// validation and concatenation. Items processed = shards dispatched,
+// so the tracked regression quantity is per-shard dispatch overhead;
+// cpu_time is the coordinator thread's own work, excluding both the
+// workers' simulation and the poll sleeps.
+void BM_CoordLocalSweep(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const char* cli_env = std::getenv("UCR_CLI");
+  const std::string cli =
+      (cli_env != nullptr && *cli_env != '\0') ? cli_env : UCR_CLI_DEFAULT;
+  if (cli.empty() || !fs::exists(cli)) {
+    state.SkipWithError("ucr_cli binary not found (set UCR_CLI)");
+    return;
+  }
+  const char* env = std::getenv("UCR_SPEC");
+  const std::string spec =
+      (env != nullptr && *env != '\0') ? env : UCR_ENGINE_MICRO_SPEC;
+
+  const fs::path root = fs::temp_directory_path() / "ucr_bm_coord_sweep";
+  fs::remove_all(root);
+
+  ucr::coord::CoordinatorOptions options;
+  options.spec_path = spec;
+  options.workers = ucr::coord::parse_workers("local\nlocal\n");
+  options.cli = cli;
+  options.work_dir = (root / "work").string();
+
+  std::uint64_t shards = 0;
+  try {
+    // Prime the per-worker caches: the one cold run simulates, every
+    // timed iteration afterwards is pure replay + dispatch.
+    std::ostringstream primed;
+    ucr::coord::Coordinator(options).run(primed);
+    for (auto _ : state) {
+      ucr::coord::Coordinator coordinator(options);
+      std::ostringstream out;
+      const ucr::coord::CoordReport report = coordinator.run(out);
+      shards += report.shards;
+      benchmark::DoNotOptimize(report.rows);
+    }
+  } catch (const ucr::ContractViolation& e) {
+    state.SkipWithError(e.what());
+    fs::remove_all(root);
+    return;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(shards));
+  state.SetLabel(spec);
+  fs::remove_all(root);
+}
+// Paced by wall clock: the per-iteration latency is dominated by child
+// lifetimes and the poll loop, which thread CPU time cannot see.
+BENCHMARK(BM_CoordLocalSweep)->UseRealTime();
 
 }  // namespace
 

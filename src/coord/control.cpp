@@ -1,0 +1,110 @@
+#include "coord/control.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "svc/socket.hpp"
+
+namespace ucr::coord {
+
+namespace {
+
+std::string error_json(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json::escape(message) + "\"}";
+}
+
+void handle_connection(svc::LineSocket socket,
+                       const Coordinator& coordinator) {
+  try {
+    while (true) {
+      const std::optional<std::string> line = socket.recv_line();
+      if (!line.has_value()) return;  // client hung up
+      if (line->empty()) continue;
+      try {
+        const json::Value request = json::parse(*line);
+        const std::string& cmd = request.at("cmd").as_string();
+        if (cmd == "ping") {
+          socket.send_line("{\"ok\":true,\"pong\":true}");
+        } else if (cmd == "status") {
+          socket.send_line(coord_status_json(coordinator.status()));
+        } else {
+          socket.send_line(
+              error_json("unknown cmd '" + cmd + "' (ping, status)"));
+        }
+      } catch (const ContractViolation& e) {
+        socket.send_line(error_json(e.what()));
+      }
+    }
+  } catch (const ContractViolation&) {
+    // Transport failure mid-exchange: drop the connection, keep serving.
+  }
+}
+
+}  // namespace
+
+std::string coord_status_json(const CoordStatus& status) {
+  std::string out = "{\"ok\":true";
+  out += ",\"state\":\"" + json::escape(status.state) + "\"";
+  out += ",\"spec_hash\":\"" + status.spec_hash + "\"";
+  out += ",\"shards\":" + std::to_string(status.shards);
+  out += ",\"completed\":" + std::to_string(status.completed);
+  out += ",\"running\":" + std::to_string(status.running);
+  out += ",\"pending\":" + std::to_string(status.pending);
+  out += ",\"attempts\":" + std::to_string(status.attempts);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < status.worker_states.size(); ++i) {
+    const WorkerStatus& worker = status.worker_states[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + json::escape(worker.name) + "\"";
+    out += ",\"capacity\":" + std::to_string(worker.capacity);
+    out += ",\"busy\":" + std::to_string(worker.busy);
+    out += ",\"failures\":" + std::to_string(worker.failures);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+ControlServer::ControlServer(std::string socket_path,
+                             const Coordinator& coordinator)
+    : socket_path_(std::move(socket_path)), coordinator_(coordinator) {
+  listen_fd_ = svc::listen_unix(socket_path_);
+  thread_ = std::thread([this] {
+    std::vector<std::thread> handlers;
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener shut down by stop() — drain and exit
+      }
+      svc::LineSocket connection(fd);
+      handlers.emplace_back(handle_connection, std::move(connection),
+                            std::cref(coordinator_));
+    }
+    for (std::thread& handler : handlers) handler.join();
+  });
+}
+
+ControlServer::~ControlServer() { stop(); }
+
+void ControlServer::stop() {
+  if (!thread_.joinable()) return;
+  // shutdown() on the listener makes the blocked accept() return an
+  // error, which ends the accept loop; the fd stays valid until after
+  // the join so the loop never touches a closed descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+}  // namespace ucr::coord

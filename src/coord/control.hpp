@@ -1,0 +1,54 @@
+// The coordinator's control plane: the same line-oriented JSON over
+// AF_UNIX protocol the sweep daemon speaks (svc/server.hpp), scoped down
+// to observation — a coordinator run is driven by ucr_coordd's command
+// line, the socket only answers questions about it.
+//
+//   {"cmd":"ping"}    -> {"ok":true,"pong":true}
+//   {"cmd":"status"}  -> {"ok":true,"state":...,"spec_hash":...,
+//                         "shards":N,"completed":N,"running":N,
+//                         "pending":N,"attempts":N,"workers":[
+//                         {"name":...,"capacity":N,"busy":N,"failures":N}]}
+//
+// Any failure answers {"ok":false,"error":MESSAGE} and keeps the
+// connection open. ucr_coordctl is the thin client.
+#pragma once
+
+#include <string>
+#include <thread>
+
+#include "coord/coordinator.hpp"
+
+namespace ucr::coord {
+
+/// The status reply's JSON text. The field names above are a tool
+/// contract (scripts parse them); tests pin them exactly.
+std::string coord_status_json(const CoordStatus& status);
+
+/// Serves the control protocol on its own accept thread while the
+/// Coordinator runs in the caller's thread. Coordinator::status() is
+/// thread-safe, so the server holds only a const reference.
+class ControlServer {
+ public:
+  /// Binds and listens on `socket_path` (replacing a stale socket file)
+  /// and starts the accept thread. Throws ContractViolation when the
+  /// bind fails.
+  ControlServer(std::string socket_path, const Coordinator& coordinator);
+
+  /// Stops the server if still running.
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Shuts the accept loop down, joins every connection handler, closes
+  /// the listener and unlinks the socket path. Idempotent.
+  void stop();
+
+ private:
+  std::string socket_path_;
+  const Coordinator& coordinator_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace ucr::coord

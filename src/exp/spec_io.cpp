@@ -21,6 +21,7 @@ namespace {
 const std::vector<std::string>& known_keys() {
   static const std::vector<std::string> keys{
       "spec_version",
+      "include",
       "protocols",
       "ks",
       "kmax",
@@ -157,27 +158,29 @@ std::string join(const std::vector<std::string>& items) {
   return out;
 }
 
-}  // namespace
-
-const char* output_format_name(OutputFormat format) {
-  switch (format) {
-    case OutputFormat::kTable:
-      return "table";
-    case OutputFormat::kCsv:
-      return "csv";
-    case OutputFormat::kJsonl:
-      return "jsonl";
-  }
-  UCR_CHECK(false, "unreachable output format");
-  return "";
-}
-
-SpecFile parse_spec(const std::string& text) {
+/// The parser core behind both parse_spec overloads and load_spec_file.
+/// `loader` resolves `include = <name>` lines (nullptr rejects them);
+/// `allow_include` is false while parsing an included base, so overlays
+/// are exactly one level deep.
+SpecFile parse_spec_impl(const std::string& text, const SpecLoader& loader,
+                         bool allow_include) {
   SpecFile file;
   ExperimentSpec& spec = file.spec;
 
   std::set<std::string> seen;
   bool versioned = false;
+  // Overlay bookkeeping: which parts of the description were adopted from
+  // an included base. The first overlay line for a repeatable axis
+  // (`arrival` / `channel`) replaces the inherited list instead of
+  // appending to it, and an overlay `ks` / `kmax` displaces an inherited
+  // value of the *other* key (the two stay mutually exclusive, but a
+  // delta may switch a sweep from one spelling to the other).
+  bool included = false;
+  bool overlay_arrivals = false;
+  bool overlay_channels = false;
+  bool inherited_ks = false;
+  bool inherited_kmax = false;
+
   std::size_t line_no = 0;
   std::size_t start = 0;
   while (start <= text.size()) {
@@ -217,16 +220,48 @@ SpecFile parse_spec(const std::string& text) {
         UCR_REQUIRE(value == "1", source + ": unsupported spec_version '" +
                                       value + "' (this build reads 1)");
         versioned = true;
+      } else if (key == "include") {
+        UCR_REQUIRE(allow_include,
+                    source + ": nested include '" + value +
+                        "' (an included base spec must be flat — overlays "
+                        "are one level deep)");
+        UCR_REQUIRE(loader != nullptr,
+                    source + ": include needs a file context (load the "
+                             "overlay with load_spec_file, or pass a "
+                             "SpecLoader to parse_spec)");
+        for (const std::string& prior : seen) {
+          UCR_REQUIRE(prior == "include" || prior == "spec_version",
+                      source + ": include must precede every key except "
+                               "spec_version (saw '" + prior +
+                               "' first — an overlay states its base, "
+                               "then its deltas)");
+        }
+        SpecFile base;
+        try {
+          base = parse_spec_impl(loader(value), loader,
+                                 /*allow_include=*/false);
+        } catch (const ContractViolation& e) {
+          throw ContractViolation(source + ": include '" + value + "': " +
+                                  e.what());
+        }
+        file = std::move(base);  // `spec` still references file.spec
+        included = true;
+        inherited_ks = !spec.ks.empty();
+        inherited_kmax = spec.k_max != 0;
       } else if (key == "protocols") {
         spec.protocol_names = split_list(value, source);
       } else if (key == "ks") {
+        if (inherited_kmax && seen.count("kmax") == 0) spec.k_max = 0;
         spec.ks.clear();
         for (const std::string& item : split_list(value, source)) {
           spec.ks.push_back(parse_u64_strict(item, source + " key 'ks'"));
         }
       } else if (key == "kmax") {
+        if (inherited_ks && seen.count("ks") == 0) spec.ks.clear();
         spec.k_max = parse_u64_strict(value, source + " key 'kmax'");
       } else if (key == "arrival") {
+        if (included && !overlay_arrivals) spec.arrivals.clear();
+        overlay_arrivals = true;
         spec.with_arrival(ArrivalSpec::parse(value));
       } else if (key == "runs") {
         spec.runs = parse_u64_strict(value, source + " key 'runs'");
@@ -244,6 +279,8 @@ SpecFile parse_spec(const std::string& text) {
       } else if (key == "collision_detection") {
         spec.engine_options.collision_detection = parse_bool(value, source);
       } else if (key == "channel") {
+        if (included && !overlay_channels) spec.channels.clear();
+        overlay_channels = true;
         spec.with_channel(ChannelModel::parse(value));
       } else if (key == "shard") {
         spec.shard = ShardSpec::parse(value);
@@ -280,12 +317,54 @@ SpecFile parse_spec(const std::string& text) {
   return file;
 }
 
-SpecFile load_spec_file(const std::string& path) {
+}  // namespace
+
+const char* output_format_name(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable:
+      return "table";
+    case OutputFormat::kCsv:
+      return "csv";
+    case OutputFormat::kJsonl:
+      return "jsonl";
+  }
+  UCR_CHECK(false, "unreachable output format");
+  return "";
+}
+
+SpecFile parse_spec(const std::string& text) {
+  return parse_spec_impl(text, nullptr, /*allow_include=*/true);
+}
+
+SpecFile parse_spec(const std::string& text, const SpecLoader& loader) {
+  return parse_spec_impl(text, loader, /*allow_include=*/true);
+}
+
+namespace {
+
+std::string read_spec_text(const std::string& path) {
   std::ifstream in(path);
   UCR_REQUIRE(in.is_open(), "cannot open spec file '" + path + "'");
   std::ostringstream text;
   text << in.rdbuf();
-  return parse_spec(text.str());
+  return text.str();
+}
+
+}  // namespace
+
+SpecFile load_spec_file(const std::string& path) {
+  // Includes resolve relative to the directory of the *including* file —
+  // an overlay names its base the way a runbook reads it, independent of
+  // the process's working directory. (One level deep, so the including
+  // file is always `path` itself.)
+  std::string dir;
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+  const SpecLoader loader = [&dir](const std::string& name) {
+    const bool absolute = !name.empty() && name.front() == '/';
+    return read_spec_text(absolute ? name : dir + name);
+  };
+  return parse_spec(read_spec_text(path), loader);
 }
 
 std::string to_text(const ExperimentSpec& spec) {

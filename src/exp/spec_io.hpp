@@ -33,6 +33,17 @@
 // ContractViolation naming the offending line, with a did-you-mean hint
 // (the find_protocol machinery) for misspelled keys and enum values.
 //
+// Overlays: a spec may instead start from another spec and state only a
+// delta —
+//
+//   spec_version = 1
+//   include = fig1.spec          # adopt the base spec wholesale...
+//   shard = 2/8                  # ...then override individual keys
+//
+// resolved at parse time, so the overlay has the same canonical text and
+// spec_hash as the flattened spec (see parse_spec(text, loader) below;
+// shipped examples live in specs/overlays/).
+//
 // Round trip: to_text() emits the canonical form (every key, canonical
 // order, shortest-round-trip numbers), and `parse_spec(to_text(s)) == s`
 // for every spec a file can express — explicit ProtocolFactory entries
@@ -42,6 +53,7 @@
 // pins the round trip for randomized specs and every shipped specs/*.spec.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "exp/spec.hpp"
@@ -68,13 +80,36 @@ struct SpecFile {
 /// Parses the `key = value` format above. Throws ContractViolation on any
 /// malformed input, naming the line: unknown key (with did-you-mean),
 /// duplicate scalar key, missing/unsupported spec_version, ks + kmax
-/// together, malformed numbers/engine/arrival/shard/format.
+/// together, malformed numbers/engine/arrival/shard/format. `include`
+/// lines are rejected here — includes need a loader (overload below) or a
+/// file context (load_spec_file).
 SpecFile parse_spec(const std::string& text);
+
+/// Resolves an `include = <name>` line to the text of the named base
+/// spec. Called at parse time; throws ContractViolation when the name
+/// cannot be resolved (the parser prefixes the offending line).
+using SpecLoader = std::function<std::string(const std::string& name)>;
+
+/// parse_spec with spec *overlays* resolved at parse time: an
+/// `include = <base>` line (which must precede every key except
+/// spec_version, at most once) loads the named base spec through
+/// `loader`, adopts its entire description, and treats the remaining
+/// lines as deltas — scalar keys override the base's value, and the
+/// first `arrival` / `channel` line replaces the base's whole list (an
+/// overlay restates an axis, it never appends to one). The base must be
+/// flat: a nested `include` inside it fails with a line-numbered error.
+/// Because resolution happens at parse time, an overlay parses to the
+/// same SpecFile value — hence the same canonical text and the same
+/// spec_hash — as the flattened spec it abbreviates; that equality is
+/// what lets a per-worker shard file be a one-line diff of the canonical
+/// sweep (docs/ORCHESTRATOR.md).
+SpecFile parse_spec(const std::string& text, const SpecLoader& loader);
 
 /// Reads `path` and parse_spec()s its contents — the one spec-loading
 /// path every front end (ucr_cli --spec, the bench harnesses' UCR_SPEC,
-/// engine_micro's BM_SpecSweep) shares. Throws ContractViolation naming
-/// the path when the file cannot be opened.
+/// engine_micro's BM_SpecSweep) shares. `include` names resolve relative
+/// to the directory containing `path` (absolute names stand alone).
+/// Throws ContractViolation naming the path when a file cannot be opened.
 SpecFile load_spec_file(const std::string& path);
 
 /// Serializes the canonical form: every key, canonical order, numbers in

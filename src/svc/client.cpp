@@ -40,12 +40,18 @@ std::string submit_request(const std::string& spec_text) {
 }
 
 json::Value request(const std::string& socket_path, const std::string& line) {
+  return json::parse(request_raw(socket_path, line));
+}
+
+std::string request_raw(const std::string& socket_path,
+                        const std::string& line) {
   LineSocket socket = connect_unix(socket_path);
   socket.send_line(line);
   const std::optional<std::string> response = socket.recv_line();
   UCR_REQUIRE(response.has_value(),
               "daemon closed the connection without answering");
-  return parse_response(*response);
+  parse_response(*response);  // validate + surface daemon errors
+  return *response;
 }
 
 StreamResult stream_job(

@@ -27,6 +27,13 @@ std::string submit_request(const std::string& spec_text);
 /// message verbatim).
 json::Value request(const std::string& socket_path, const std::string& line);
 
+/// Like request(), but returns the daemon's response line verbatim (still
+/// validated: must parse as an object, and {"ok":false} still throws).
+/// ucr_cli's --json mode prints this byte-for-byte, so scripts parse the
+/// daemon's own encoding rather than a client re-rendering.
+std::string request_raw(const std::string& socket_path,
+                        const std::string& line);
+
 /// Final summary line of a streamed job.
 struct StreamResult {
   std::string job;

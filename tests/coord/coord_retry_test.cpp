@@ -1,0 +1,295 @@
+// The coordinator contract (coord/coordinator.hpp), unit and end to end:
+// shard overlays, per-shard output validation, the machine-readable
+// status encoding, and the acceptance property itself — a real worker
+// fleet with a rigged mid-shard death (UCR_ABORT_MODE=kill through the
+// generic exec launcher) still assembles an archive byte-identical to
+// the in-process pipeline, with the death absorbed by a retry.
+#include "coord/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "coord/control.hpp"
+#include "coord/workers.hpp"
+#include "core/registry.hpp"
+#include "exp/plan.hpp"
+#include "exp/run.hpp"
+#include "exp/sink.hpp"
+#include "exp/spec_io.hpp"
+#include "sim/resultio.hpp"
+
+namespace ucr::coord {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The small two-protocol grid every end-to-end test here sweeps: six
+/// cells, so three shards hold two cells each — enough for the rigged
+/// worker (which dies when its second cell is emitted) to always die
+/// mid-shard.
+exp::SpecFile test_spec() {
+  exp::SpecFile file;
+  file.spec.with_protocol("One-Fail Adaptive")
+      .with_protocol("Exp Back-on/Back-off")
+      .with_ks({10, 20, 30});
+  file.spec.runs = 2;
+  file.spec.seed = 4242;
+  file.threads = 1;
+  file.format = exp::OutputFormat::kJsonl;
+  return file;
+}
+
+/// Writes the spec under `root` and returns its path.
+std::string write_spec(const fs::path& root, const exp::SpecFile& file) {
+  const fs::path path = root / "base.spec";
+  std::ofstream out(path);
+  out << exp::to_text(file);
+  return path.string();
+}
+
+/// Reference bytes: the identical sweep through the in-process pipeline.
+std::string reference_jsonl(const exp::SpecFile& file) {
+  const exp::ExperimentPlan plan =
+      exp::compile(file.spec, default_catalogue());
+  std::ostringstream out;
+  exp::JsonlSink sink(out);
+  std::vector<exp::ResultSink*> sinks{&sink};
+  exp::RunOptions options;
+  options.threads = 1;
+  exp::run(plan, sinks, options);
+  return out.str();
+}
+
+fs::path fresh_root(const std::string& name) {
+  const fs::path root = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+TEST(ShardOverlay, TextIsTheMinimalDelta) {
+  EXPECT_EQ(shard_overlay_text("/tmp/base.spec", 2, 5, std::nullopt, 0),
+            "spec_version = 1\n"
+            "include = /tmp/base.spec\n"
+            "shard = 2/5\n");
+  EXPECT_EQ(
+      shard_overlay_text("b.spec", 0, 3, exp::OutputFormat::kJsonl, 4),
+      "spec_version = 1\n"
+      "include = b.spec\n"
+      "shard = 0/3\n"
+      "format = jsonl\n"
+      "threads = 4\n");
+}
+
+TEST(ValidateShardOutput, EnforcesTheShardZeroHeaderContract) {
+  std::ostringstream header;
+  write_aggregate_header(header);
+  const std::string hash = "00c0ffee00c0ffee";
+  const std::string row = "1,proto,10," + hash + ",9.5\n";
+
+  // Shard 0 must open with the aggregate CSV header; later shards must
+  // not repeat it.
+  EXPECT_NO_THROW(validate_shard_output(header.str() + row,
+                                        exp::OutputFormat::kCsv, 0, 1, hash));
+  EXPECT_THROW(
+      validate_shard_output(row, exp::OutputFormat::kCsv, 0, 1, hash),
+      ContractViolation);
+  EXPECT_NO_THROW(
+      validate_shard_output(row, exp::OutputFormat::kCsv, 3, 1, hash));
+  EXPECT_THROW(validate_shard_output(header.str() + row,
+                                     exp::OutputFormat::kCsv, 3, 1, hash),
+               ContractViolation);
+}
+
+TEST(ValidateShardOutput, CountsRowsAndChecksProvenance) {
+  const std::string hash = "00c0ffee00c0ffee";
+  const std::string row =
+      "{\"cell\":0,\"spec_hash\":\"" + hash + "\",\"k\":10}\n";
+  EXPECT_NO_THROW(validate_shard_output(row + row, exp::OutputFormat::kJsonl,
+                                        1, 2, hash));
+  // Too few / too many rows.
+  EXPECT_THROW(
+      validate_shard_output(row, exp::OutputFormat::kJsonl, 1, 2, hash),
+      ContractViolation);
+  EXPECT_THROW(validate_shard_output(row + row + row,
+                                     exp::OutputFormat::kJsonl, 1, 2, hash),
+               ContractViolation);
+  // A row stamped with someone else's spec_hash is corruption, loudly.
+  EXPECT_THROW(validate_shard_output(row, exp::OutputFormat::kJsonl, 1, 1,
+                                     "1111111111111111"),
+               ContractViolation);
+  // A torn final line (worker killed mid-write) is a failure even when
+  // the row count would otherwise look right.
+  EXPECT_THROW(
+      validate_shard_output(row + "{\"cell\":1,\"spec",
+                            exp::OutputFormat::kJsonl, 1, 2, hash),
+      ContractViolation);
+  // Empty shard, empty output: valid.
+  EXPECT_NO_THROW(
+      validate_shard_output("", exp::OutputFormat::kJsonl, 1, 0, hash));
+}
+
+TEST(CoordStatusJson, FieldNamesAreAToolContract) {
+  // Exact encoding: scripts parse these names (and ucr_coordctl --json
+  // prints the line verbatim), so a rename must fail a test.
+  CoordStatus status;
+  status.state = "running";
+  status.spec_hash = "00c0ffee00c0ffee";
+  status.shards = 3;
+  status.completed = 1;
+  status.running = 1;
+  status.pending = 1;
+  status.attempts = 4;
+  WorkerStatus worker;
+  worker.name = "good-1";
+  worker.capacity = 2;
+  worker.busy = 1;
+  worker.failures = 3;
+  status.worker_states = {worker};
+  EXPECT_EQ(coord_status_json(status),
+            "{\"ok\":true,\"state\":\"running\","
+            "\"spec_hash\":\"00c0ffee00c0ffee\",\"shards\":3,"
+            "\"completed\":1,\"running\":1,\"pending\":1,\"attempts\":4,"
+            "\"workers\":[{\"name\":\"good-1\",\"capacity\":2,\"busy\":1,"
+            "\"failures\":3}]}");
+}
+
+TEST(Coordinator, RejectsShardedAndTableBaseSpecs) {
+  const fs::path root = fresh_root("ucr_coord_reject_test");
+  exp::SpecFile sharded = test_spec();
+  sharded.spec.shard = exp::ShardSpec::parse("1/3");
+  CoordinatorOptions options;
+  options.spec_path = write_spec(root, sharded);
+  options.workers = parse_workers("local\n");
+  options.work_dir = (root / "work").string();
+  EXPECT_THROW(Coordinator{options}, ContractViolation);
+
+  exp::SpecFile table = test_spec();
+  table.format = exp::OutputFormat::kTable;
+  options.spec_path = write_spec(root, table);
+  EXPECT_THROW(Coordinator{options}, ContractViolation);
+  // ...unless the coordinator overrides the format, flag-wins style.
+  options.format = exp::OutputFormat::kJsonl;
+  EXPECT_NO_THROW(Coordinator{options});
+  fs::remove_all(root);
+}
+
+TEST(Coordinator, ClampsShardCountToTheGrid) {
+  const fs::path root = fresh_root("ucr_coord_clamp_test");
+  CoordinatorOptions options;
+  options.spec_path = write_spec(root, test_spec());
+  options.workers = parse_workers("local capacity=16\n");
+  options.work_dir = (root / "work").string();
+  // Fleet capacity 16, but the grid has only 6 cells.
+  EXPECT_EQ(Coordinator(options).shards(), 6u);
+  options.shards = 4;
+  EXPECT_EQ(Coordinator(options).shards(), 4u);
+  fs::remove_all(root);
+}
+
+TEST(CoordinatorE2E, KilledWorkerIsRetriedAndTheArchiveIsByteIdentical) {
+  const fs::path root = fresh_root("ucr_coord_retry_test");
+  const exp::SpecFile file = test_spec();
+
+  CoordinatorOptions options;
+  options.spec_path = write_spec(root, file);
+  options.work_dir = (root / "work").string();
+  options.cli = UCR_CLI_PATH;
+  options.shards = 3;
+  // The killer is first, so round-robin hands it shard 0 immediately; it
+  // dies (hard, exit 137) when its second cell is emitted. The two local
+  // workers absorb the retry.
+  WorkerSpec killer;
+  killer.kind = WorkerSpec::Kind::kExec;
+  killer.name = "killer";
+  killer.exec_prefix = {"env", "UCR_ABORT_AFTER_CELLS=1",
+                        "UCR_ABORT_MODE=kill"};
+  options.workers = {killer, parse_workers("local name=good-1\n")[0],
+                     parse_workers("local name=good-2\n")[0]};
+
+  Coordinator coordinator(options);
+  ASSERT_EQ(coordinator.shards(), 3u);
+  std::ostringstream assembled;
+  const CoordReport report = coordinator.run(assembled);
+
+  EXPECT_EQ(assembled.str(), reference_jsonl(file));
+  EXPECT_EQ(report.rows, 6u);
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_EQ(report.attempts, 3 + report.retries);
+  EXPECT_FALSE(report.incomplete_runs);
+
+  const CoordStatus status = coordinator.status();
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.completed, 3u);
+  EXPECT_EQ(status.pending, 0u);
+  fs::remove_all(root);
+}
+
+TEST(CoordinatorE2E, ExhaustedAttemptsFailLoudlyNamingTheShard) {
+  const fs::path root = fresh_root("ucr_coord_terminal_test");
+  CoordinatorOptions options;
+  options.spec_path = write_spec(root, test_spec());
+  options.work_dir = (root / "work").string();
+  options.cli = UCR_CLI_PATH;
+  options.shards = 1;
+  options.max_attempts = 2;
+  // The only worker always dies: two attempts, then a terminal failure.
+  WorkerSpec killer;
+  killer.kind = WorkerSpec::Kind::kExec;
+  killer.name = "killer";
+  killer.exec_prefix = {"env", "UCR_ABORT_AFTER_CELLS=0",
+                        "UCR_ABORT_MODE=kill"};
+  options.workers = {killer};
+
+  Coordinator coordinator(options);
+  std::ostringstream out;
+  try {
+    coordinator.run(out);
+    FAIL() << "terminal failure did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 0 failed 2/2 attempts"), std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(coordinator.status().state, "failed");
+  fs::remove_all(root);
+}
+
+TEST(CoordinatorE2E, HeartbeatKillsWorkersThatStopProducingOutput) {
+  const fs::path root = fresh_root("ucr_coord_heartbeat_test");
+  CoordinatorOptions options;
+  options.spec_path = write_spec(root, test_spec());
+  options.work_dir = (root / "work").string();
+  options.cli = UCR_CLI_PATH;
+  options.shards = 1;
+  options.max_attempts = 1;
+  options.heartbeat_seconds = 0.25;
+  // `sh -c 'sleep 30'` swallows the appended ucr_cli argv (it lands in
+  // $0/$@) and never writes a byte of output — exactly a hung machine.
+  WorkerSpec hung;
+  hung.kind = WorkerSpec::Kind::kExec;
+  hung.name = "hung";
+  hung.exec_prefix = {"sh", "-c", "sleep 30"};
+  options.workers = {hung};
+
+  Coordinator coordinator(options);
+  std::ostringstream out;
+  try {
+    coordinator.run(out);
+    FAIL() << "hung worker did not trip the heartbeat";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("heartbeat"), std::string::npos) << what;
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ucr::coord

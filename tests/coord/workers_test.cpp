@@ -1,0 +1,99 @@
+// The workers-file contract (coord/workers.hpp): one worker per
+// non-comment line, `local` or `exec: <argv prefix>`, with capacity/name
+// options — and loud, line-numbered errors on everything malformed, since
+// a silently misread fleet description would strand a sweep.
+#include "coord/workers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace ucr::coord {
+namespace {
+
+std::string what_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Workers, ParsesLocalAndExecWithDefaults) {
+  const auto workers = parse_workers(
+      "# the fleet\n"
+      "local\n"
+      "local capacity=4 name=big\n"
+      "exec name=node7: ssh node7 ucr-wrapper.sh\n"
+      "\n"
+      "exec: env UCR_THREADS=2\n");
+  ASSERT_EQ(workers.size(), 4u);
+
+  EXPECT_EQ(workers[0].kind, WorkerSpec::Kind::kLocal);
+  EXPECT_EQ(workers[0].capacity, 1u);
+  EXPECT_EQ(workers[0].name, "local-1");
+  EXPECT_TRUE(workers[0].exec_prefix.empty());
+
+  EXPECT_EQ(workers[1].capacity, 4u);
+  EXPECT_EQ(workers[1].name, "big");
+
+  EXPECT_EQ(workers[2].kind, WorkerSpec::Kind::kExec);
+  EXPECT_EQ(workers[2].name, "node7");
+  EXPECT_EQ(workers[2].exec_prefix,
+            (std::vector<std::string>{"ssh", "node7", "ucr-wrapper.sh"}));
+
+  EXPECT_EQ(workers[3].name, "exec-4");
+  EXPECT_EQ(workers[3].exec_prefix,
+            (std::vector<std::string>{"env", "UCR_THREADS=2"}));
+}
+
+TEST(Workers, ErrorsNameTheLine) {
+  const std::string unknown = what_of([] {
+    (void)parse_workers("local\n\nslurm: srun\n");
+  });
+  EXPECT_NE(unknown.find("workers line 3"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("unknown worker kind"), std::string::npos)
+      << unknown;
+
+  const std::string option = what_of([] {
+    (void)parse_workers("local weight=2\n");
+  });
+  EXPECT_NE(option.find("workers line 1"), std::string::npos) << option;
+  EXPECT_NE(option.find("unknown worker option 'weight'"), std::string::npos)
+      << option;
+}
+
+TEST(Workers, RejectsMalformedFleets) {
+  // Capacity must be a positive integer.
+  EXPECT_THROW((void)parse_workers("local capacity=0\n"), ContractViolation);
+  EXPECT_THROW((void)parse_workers("local capacity=two\n"),
+               ContractViolation);
+  // Duplicate option on one worker; duplicate names across the fleet.
+  EXPECT_THROW((void)parse_workers("local capacity=2 capacity=3\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_workers("local name=w\nexec name=w: ssh n\n"),
+               ContractViolation);
+  // exec needs its argv prefix after ':'.
+  EXPECT_THROW((void)parse_workers("exec name=n\n"), ContractViolation);
+  EXPECT_THROW((void)parse_workers("exec name=n:\n"), ContractViolation);
+  // Options are key=value.
+  EXPECT_THROW((void)parse_workers("local fast\n"), ContractViolation);
+  // An empty fleet (only comments/blank lines) is an error, not a no-op.
+  EXPECT_THROW((void)parse_workers("# nothing\n\n"), ContractViolation);
+  EXPECT_THROW((void)parse_workers(""), ContractViolation);
+}
+
+TEST(Workers, DefaultNamesCountFleetPositions) {
+  const auto workers = parse_workers("exec: a\nlocal\nexec: b\n");
+  ASSERT_EQ(workers.size(), 3u);
+  EXPECT_EQ(workers[0].name, "exec-1");
+  EXPECT_EQ(workers[1].name, "local-2");
+  EXPECT_EQ(workers[2].name, "exec-3");
+}
+
+}  // namespace
+}  // namespace ucr::coord

@@ -10,8 +10,10 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -83,13 +85,13 @@ TEST(SpecIo, AwkwardPoissonRatesRoundTripBitForBit) {
   }
 }
 
-TEST(SpecIo, RandomizedSpecsRoundTripExactly) {
-  // Deterministic fuzz over the whole expressible space.
-  Xoshiro256 rng(20260728);
+/// One random point in the whole expressible spec space — shared by the
+/// plain round-trip fuzz and the overlay fuzz.
+SpecFile random_spec_file(Xoshiro256& rng) {
   const auto u64 = [&rng](std::uint64_t bound) {
     return rng.next_u64() % bound;
   };
-  for (int trial = 0; trial < 200; ++trial) {
+  {
     SpecFile file;
     for (std::uint64_t i = 0, n = u64(4); i < n; ++i) {
       file.spec.with_protocol("protocol " + std::to_string(u64(100)));
@@ -161,7 +163,15 @@ TEST(SpecIo, RandomizedSpecsRoundTripExactly) {
     file.spec.shard.index = u64(file.spec.shard.count);
     file.threads = static_cast<unsigned>(u64(17));
     file.format = static_cast<OutputFormat>(u64(3));
+    return file;
+  }
+}
 
+TEST(SpecIo, RandomizedSpecsRoundTripExactly) {
+  // Deterministic fuzz over the whole expressible space.
+  Xoshiro256 rng(20260728);
+  for (int trial = 0; trial < 200; ++trial) {
+    const SpecFile file = random_spec_file(rng);
     const std::string text = to_text(file);
     const SpecFile back = parse_spec(text);
     ASSERT_EQ(back, file) << "trial " << trial << "\n" << text;
@@ -296,6 +306,235 @@ TEST(SpecIo, MalformedAdversarialSchedulesFailLoudlyWithLineNumbers) {
 TEST(SpecIo, ThreadsZeroMeansAllHardwareThreads) {
   EXPECT_EQ(parse_spec("spec_version = 1\nthreads = 0\n").threads, 0u);
   EXPECT_EQ(parse_spec("spec_version = 1\nthreads = 5\n").threads, 5u);
+}
+
+/// A SpecLoader over an in-memory name -> text map.
+SpecLoader map_loader(std::map<std::string, std::string> files) {
+  return [files = std::move(files)](const std::string& name) {
+    const auto it = files.find(name);
+    UCR_REQUIRE(it != files.end(), "no such spec '" + name + "'");
+    return it->second;
+  };
+}
+
+const char* const kOverlayBase =
+    "spec_version = 1\n"
+    "protocols = One-Fail Adaptive, Exp Back-on/Back-off\n"
+    "kmax = 100000\n"
+    "arrival = batch\n"
+    "arrival = poisson(0.1)\n"
+    "channel = clean\n"
+    "channel = capture(0.35)\n"
+    "runs = 10\n"
+    "seed = 2011\n"
+    "engine = batched\n"
+    "format = csv\n";
+
+TEST(SpecOverlay, CompilesToSameCanonicalTextAndHashAsFlattened) {
+  const SpecLoader loader = map_loader({{"base.spec", kOverlayBase}});
+  const SpecFile overlay = parse_spec(
+      "spec_version = 1\n"
+      "include = base.spec\n"
+      "kmax = 1000\n"
+      "runs = 2\n"
+      "format = jsonl\n",
+      loader);
+  const SpecFile flat = parse_spec(
+      "spec_version = 1\n"
+      "protocols = One-Fail Adaptive, Exp Back-on/Back-off\n"
+      "kmax = 1000\n"
+      "arrival = batch\n"
+      "arrival = poisson(0.1)\n"
+      "channel = clean\n"
+      "channel = capture(0.35)\n"
+      "runs = 2\n"
+      "seed = 2011\n"
+      "engine = batched\n"
+      "format = jsonl\n");
+  EXPECT_EQ(overlay, flat);
+  EXPECT_EQ(to_text(overlay), to_text(flat));
+  EXPECT_EQ(spec_hash(overlay.spec), spec_hash(flat.spec));
+}
+
+TEST(SpecOverlay, ExecutionOnlyDeltasKeepTheSpecHash) {
+  // shard/threads/format are normalized out of spec_hash, so an overlay
+  // touching only them names the same sweep as its base — the exact
+  // property the coordinator's shard work units rely on.
+  const SpecLoader loader = map_loader({{"base.spec", kOverlayBase}});
+  const SpecFile base = parse_spec(kOverlayBase);
+  const SpecFile overlay = parse_spec(
+      "spec_version = 1\n"
+      "include = base.spec\n"
+      "shard = 2/5\n"
+      "threads = 3\n"
+      "format = jsonl\n",
+      loader);
+  EXPECT_EQ(spec_hash(overlay.spec), spec_hash(base.spec));
+  EXPECT_EQ(overlay.spec.shard.label(), "2/5");
+  EXPECT_EQ(overlay.threads, 3u);
+  EXPECT_EQ(overlay.format, OutputFormat::kJsonl);
+}
+
+TEST(SpecOverlay, FirstArrivalOrChannelLineReplacesTheInheritedList) {
+  const SpecLoader loader = map_loader({{"base.spec", kOverlayBase}});
+  const SpecFile overlay = parse_spec(
+      "spec_version = 1\n"
+      "include = base.spec\n"
+      "arrival = burst(3,7)\n"
+      "arrival = batch\n"
+      "channel = jamming(0.05)\n",
+      loader);
+  // Replacement, not append: the base's two arrivals and two channels are
+  // gone; the overlay's own lines still accumulate among themselves.
+  ASSERT_EQ(overlay.spec.arrivals.size(), 2u);
+  EXPECT_EQ(overlay.spec.arrivals[0].label(), "burst(3,7)");
+  EXPECT_EQ(overlay.spec.arrivals[1].label(), "batch");
+  ASSERT_EQ(overlay.spec.channels.size(), 1u);
+  EXPECT_EQ(overlay.spec.channels[0].label(), "jamming(0.050000)");
+}
+
+TEST(SpecOverlay, KsAndKmaxDisplaceEachOtherAcrossTheIncludeBoundary) {
+  // An overlay may switch a sweep from the kmax spelling to explicit ks
+  // (or back); the two stay mutually exclusive within one file.
+  const SpecLoader loader = map_loader(
+      {{"kmax.spec", "spec_version = 1\nkmax = 100000\n"},
+       {"ks.spec", "spec_version = 1\nks = 10,20\n"}});
+  const SpecFile to_ks = parse_spec(
+      "spec_version = 1\ninclude = kmax.spec\nks = 5,6\n", loader);
+  EXPECT_EQ(to_ks.spec.ks, (std::vector<std::uint64_t>{5, 6}));
+  EXPECT_EQ(to_ks.spec.k_max, 0u);
+  const SpecFile to_kmax = parse_spec(
+      "spec_version = 1\ninclude = ks.spec\nkmax = 1000\n", loader);
+  EXPECT_TRUE(to_kmax.spec.ks.empty());
+  EXPECT_EQ(to_kmax.spec.k_max, 1000u);
+  // Both keys in the overlay itself is still the classic error.
+  EXPECT_THROW(
+      (void)parse_spec(
+          "spec_version = 1\ninclude = kmax.spec\nks = 5\nkmax = 9\n",
+          loader),
+      ContractViolation);
+}
+
+TEST(SpecOverlay, NestedIncludeIsRejectedWithBothLineNumbers) {
+  const SpecLoader loader = map_loader(
+      {{"middle.spec", "spec_version = 1\ninclude = deep.spec\nruns = 2\n"},
+       {"deep.spec", "spec_version = 1\nruns = 3\n"}});
+  const std::string what = what_of([&] {
+    (void)parse_spec(
+        "spec_version = 1\n\ninclude = middle.spec\n", loader);
+  });
+  // The overlay names its own line, the wrapped error names the base's.
+  EXPECT_NE(what.find("spec line 3: include 'middle.spec'"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("spec line 2: nested include 'deep.spec'"),
+            std::string::npos)
+      << what;
+}
+
+TEST(SpecOverlay, IncludeMustPrecedeEveryDeltaKey) {
+  const SpecLoader loader =
+      map_loader({{"base.spec", "spec_version = 1\nkmax = 100\n"}});
+  const std::string what = what_of([&] {
+    (void)parse_spec(
+        "spec_version = 1\nruns = 2\ninclude = base.spec\n", loader);
+  });
+  EXPECT_NE(what.find("spec line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("include must precede"), std::string::npos) << what;
+  EXPECT_NE(what.find("'runs'"), std::string::npos) << what;
+  // And it is single-shot like every scalar key.
+  EXPECT_THROW(
+      (void)parse_spec("spec_version = 1\ninclude = base.spec\n"
+                       "include = base.spec\n",
+                       loader),
+      ContractViolation);
+}
+
+TEST(SpecOverlay, IncludeWithoutALoaderIsRejected) {
+  const std::string what = what_of([] {
+    (void)parse_spec("spec_version = 1\ninclude = base.spec\n");
+  });
+  EXPECT_NE(what.find("file context"), std::string::npos) << what;
+  // A missing base surfaces the loader's own error, wrapped.
+  const std::string missing = what_of([] {
+    (void)parse_spec("spec_version = 1\ninclude = gone.spec\n",
+                     map_loader({}));
+  });
+  EXPECT_NE(missing.find("include 'gone.spec'"), std::string::npos)
+      << missing;
+}
+
+TEST(SpecOverlay, RandomizedOverlaysMatchTheirFlattenedEquivalent) {
+  // Overlay fuzz: a random base, a random subset of deltas; parsing the
+  // overlay must equal applying the deltas to the base by hand, and the
+  // canonical texts (hence spec_hashes) must agree.
+  Xoshiro256 rng(20260808);
+  const auto u64 = [&rng](std::uint64_t bound) {
+    return rng.next_u64() % bound;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const SpecFile base = random_spec_file(rng);
+    SpecFile expected = base;
+    std::string overlay_text = "spec_version = 1\ninclude = base.spec\n";
+    bool sweep_changed = false;
+    if (u64(2) != 0) {
+      expected.spec.runs = 1 + u64(50);
+      overlay_text += "runs = " + std::to_string(expected.spec.runs) + "\n";
+      sweep_changed = true;
+    }
+    if (u64(2) != 0) {
+      expected.spec.seed = u64(1 << 30);
+      overlay_text += "seed = " + std::to_string(expected.spec.seed) + "\n";
+      sweep_changed = true;
+    }
+    if (u64(2) != 0) {
+      expected.spec.arrivals.clear();
+      expected.spec.with_arrival(ArrivalSpec::burst(2, 9));
+      overlay_text += "arrival = burst(2,9)\n";
+      sweep_changed = true;
+    }
+    if (u64(2) != 0) {
+      expected.spec.shard.count = 1 + u64(6);
+      expected.spec.shard.index = u64(expected.spec.shard.count);
+      overlay_text +=
+          "shard = " + expected.spec.shard.label() + "\n";
+    }
+    if (u64(2) != 0) {
+      expected.threads = 1 + static_cast<unsigned>(u64(8));
+      overlay_text += "threads = " + std::to_string(expected.threads) + "\n";
+    }
+    if (u64(2) != 0) {
+      expected.format = static_cast<OutputFormat>(u64(3));
+      overlay_text += std::string("format = ") +
+                      output_format_name(expected.format) + "\n";
+    }
+
+    const SpecLoader loader = map_loader({{"base.spec", to_text(base)}});
+    const SpecFile parsed = parse_spec(overlay_text, loader);
+    ASSERT_EQ(parsed, expected) << "trial " << trial << "\n" << overlay_text;
+    EXPECT_EQ(to_text(parsed), to_text(expected)) << "trial " << trial;
+    if (!sweep_changed) {
+      EXPECT_EQ(spec_hash(parsed.spec), spec_hash(base.spec))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(SpecOverlay, ShippedOverlayPairLoadsIdentically) {
+  // The shipped example pair (docs/ORCHESTRATOR.md): the overlay resolves
+  // its include relative to its own directory and loads to exactly the
+  // flattened twin — same SpecFile, canonical text and spec_hash.
+  const std::filesystem::path dir =
+      std::filesystem::path(UCR_REPO_ROOT) / "specs" / "overlays";
+  const SpecFile overlay =
+      load_spec_file((dir / "fig1-quick.spec").string());
+  const SpecFile flat =
+      load_spec_file((dir / "fig1-quick-flat.spec").string());
+  EXPECT_EQ(overlay, flat);
+  EXPECT_EQ(to_text(overlay), to_text(flat));
+  EXPECT_EQ(spec_hash(overlay.spec), spec_hash(flat.spec));
+  EXPECT_EQ(overlay.format, OutputFormat::kJsonl);
+  EXPECT_EQ(overlay.spec.k_max, 1000u);
 }
 
 TEST(SpecHash, IsStableSixteenHexDigits) {

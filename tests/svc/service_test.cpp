@@ -189,6 +189,17 @@ TEST(ServerRoundTrip, SocketProtocolMatchesDirectRun) {
       request(socket_path, job_request("status", "job-1"));
   EXPECT_EQ(status.at("state").as_string(), "done");
 
+  // The raw status line is the --json tool contract: exact field names,
+  // in the daemon's own encoding (request_raw passes the bytes through).
+  const std::string raw =
+      request_raw(socket_path, job_request("status", "job-1"));
+  EXPECT_EQ(raw,
+            "{\"ok\":true,\"job\":\"job-1\",\"state\":\"done\","
+            "\"spec_hash\":\"" + first.spec_hash + "\"," +
+            "\"total\":" + std::to_string(first.total) +
+            ",\"completed\":" + std::to_string(first.completed) +
+            ",\"cache_hits\":" + std::to_string(first.cache_hits) + "}");
+
   request(socket_path, simple_request("shutdown"));
   server.join();
   // The daemon unlinked its socket on the way out.

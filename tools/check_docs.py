@@ -37,7 +37,7 @@ import subprocess
 import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SPEC_REF_RE = re.compile(r"specs/[A-Za-z0-9._-]+\.spec")
+SPEC_REF_RE = re.compile(r"specs/[A-Za-z0-9._/-]+\.spec")
 SECTION_REF_RE = re.compile(r"docs/([A-Za-z0-9._-]+\.md) \"([^\"]+)\"")
 HEADING_RE = re.compile(r"^#{1,6} +(.+?)\s*$", re.MULTILINE)
 
@@ -92,10 +92,11 @@ def check_spec_coverage(root: pathlib.Path) -> list[str]:
         referenced.update(SPEC_REF_RE.findall(
             doc.read_text(encoding="utf-8")))
     errors = []
-    for spec in sorted(specs_dir.glob("*.spec")):
-        if f"specs/{spec.name}" not in referenced:
+    for spec in sorted(specs_dir.rglob("*.spec")):
+        rel = spec.relative_to(root).as_posix()
+        if rel not in referenced:
             errors.append(
-                f"specs/{spec.name}: not referenced from any document "
+                f"{rel}: not referenced from any document "
                 "(README.md, EXPERIMENTS.md, specs/README.md, docs/*.md)"
             )
     return errors

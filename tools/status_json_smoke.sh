@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# The --json machine-readable status contract, end to end over a real
+# socket: submit a job to ucr_servd, ask `ucr_cli --status=JOB --json`,
+# and assert every documented field name appears in the raw line (the
+# coord unit tests pin the coordinator side of the same contract; this
+# pins the daemon side). Scripts parse these names, so a rename must
+# fail here.
+# Usage: status_json_smoke.sh <ucr_servd> <ucr_cli> <spec-file>
+set -euo pipefail
+
+servd=$1
+cli=$2
+spec=$3
+
+work=$(mktemp -d)
+sock="$work/ucr.sock"
+servd_pid=""
+cleanup() {
+  if [ -n "$servd_pid" ] && kill -0 "$servd_pid" 2>/dev/null; then
+    kill "$servd_pid" 2>/dev/null || true
+    wait "$servd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$servd" --socket="$sock" --cache="$work/cache" 2>"$work/servd.log" &
+servd_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "daemon never came up"; cat "$work/servd.log"; exit 1; }
+
+job=$("$cli" --submit="$spec" --socket="$sock" 2>/dev/null)
+out=$("$cli" --status="$job" --socket="$sock" --json)
+echo "$out"
+
+for field in '"ok":' '"job":' '"state":' '"spec_hash":' \
+             '"total":' '"completed":' '"cache_hits":'; do
+  case "$out" in
+    *"$field"*) ;;
+    *) echo "missing $field in --json status"; exit 1 ;;
+  esac
+done
+
+# --json prints the daemon's raw line: exactly one line of JSON, no
+# human summary prose mixed in.
+[ "$(printf '%s\n' "$out" | wc -l)" -eq 1 ] || {
+  echo "--json status was not a single line"; exit 1
+}
+case "$out" in
+  {*}) ;;
+  *) echo "--json status is not a JSON object: $out"; exit 1 ;;
+esac
+
+"$cli" --shutdown --socket="$sock"
+wait "$servd_pid"
+servd_pid=""
+echo "status json smoke OK"

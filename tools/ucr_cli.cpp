@@ -128,6 +128,10 @@ int usage(const std::string& error) {
          "                    without running anything\n"
          "  --abort-after-cells=N  fault injection for resume testing:\n"
          "                    fail loudly once N cells have been emitted\n"
+         "                    (env spelling UCR_ABORT_AFTER_CELLS=N; with\n"
+         "                    UCR_ABORT_MODE=kill the process hard-exits\n"
+         "                    137 instead of throwing — a worker machine\n"
+         "                    dying mid-shard, for coordinator tests)\n"
          "daemon client (needs a running ucr_servd; docs/SERVICE.md):\n"
          "  --serve --socket=PATH [--cache=DIR]\n"
          "                    run the sweep daemon in-process (the\n"
@@ -140,6 +144,9 @@ int usage(const std::string& error) {
          "                    is printed and the job runs detached\n"
          "  --status=JOB --socket=PATH    print a job's progress\n"
          "  --cancel=JOB --socket=PATH    stop a job at its next cell\n"
+         "  --json            with --status/--cancel: print the daemon's\n"
+         "                    JSON response verbatim instead of the\n"
+         "                    human summary (docs/SERVICE.md fields)\n"
          "  --shutdown --socket=PATH      stop the daemon\n";
   return 2;
 }
@@ -202,16 +209,25 @@ int run_client(const ucr::CliArgs& args) {
               << " shutting down\n";
     return 0;
   }
+  // --json prints the daemon's response line verbatim (machine-readable;
+  // the field names are pinned by tests and docs/SERVICE.md).
+  const bool raw_json = args.get_bool("json", false);
   if (const auto job = args.get("status")) {
-    const auto response = ucr::svc::request(
-        *socket_path, ucr::svc::job_request("status", *job));
-    std::cout << job_summary(response) << "\n";
+    const std::string line = ucr::svc::job_request("status", *job);
+    if (raw_json) {
+      std::cout << ucr::svc::request_raw(*socket_path, line) << "\n";
+    } else {
+      std::cout << job_summary(ucr::svc::request(*socket_path, line)) << "\n";
+    }
     return 0;
   }
   if (const auto job = args.get("cancel")) {
-    const auto response = ucr::svc::request(
-        *socket_path, ucr::svc::job_request("cancel", *job));
-    std::cout << job_summary(response) << "\n";
+    const std::string line = ucr::svc::job_request("cancel", *job);
+    if (raw_json) {
+      std::cout << ucr::svc::request_raw(*socket_path, line) << "\n";
+    } else {
+      std::cout << job_summary(ucr::svc::request(*socket_path, line)) << "\n";
+    }
     return 0;
   }
 
@@ -240,15 +256,23 @@ int run_client(const ucr::CliArgs& args) {
   return result.state == "done" ? 0 : 1;
 }
 
-/// Fault-injection sink for resume tests: placed ahead of the output
-/// sinks, it fails loudly when the (N+1)th cell is emitted, so exactly N
+/// Fault-injection sink for resume and retry tests: placed ahead of the
+/// output sinks, it fails when the (N+1)th cell is emitted, so exactly N
 /// rows reach the output while cell N itself is already banked in the
-/// cache (run() stores before emitting).
+/// cache (run() stores before emitting). Two failure modes: `throw`
+/// (default) fails loudly through the normal error path; `kill`
+/// hard-exits with status 137 — the status a SIGKILLed process reports —
+/// without unwinding, which is how the coordinator tests simulate a
+/// worker machine dying mid-shard (docs/ORCHESTRATOR.md).
 class AbortSink final : public ucr::exp::ResultSink {
  public:
-  explicit AbortSink(std::uint64_t limit) : limit_(limit) {}
+  AbortSink(std::uint64_t limit, bool kill) : limit_(limit), kill_(kill) {}
   void emit(const ucr::exp::CellInfo&,
             const ucr::AggregateResult&) override {
+    if (emitted_ >= limit_ && kill_) {
+      std::cout.flush();  // emitted rows are real output; the death is not
+      std::_Exit(137);
+    }
     UCR_REQUIRE(emitted_ < limit_,
                 "aborting after " + std::to_string(limit_) +
                     " cells (--abort-after-cells fault injection)");
@@ -257,8 +281,34 @@ class AbortSink final : public ucr::exp::ResultSink {
 
  private:
   std::uint64_t limit_;
+  bool kill_;
   std::uint64_t emitted_ = 0;
 };
+
+/// The abort-injection configuration: the --abort-after-cells flag, or —
+/// so a coordinator worker can be made to die mid-shard without any
+/// change to the argv the coordinator builds — the UCR_ABORT_AFTER_CELLS
+/// environment variable. UCR_ABORT_MODE selects `throw` (default) or
+/// `kill` (see AbortSink).
+std::optional<AbortSink> make_abort_sink(const ucr::CliArgs& args) {
+  std::optional<std::uint64_t> limit;
+  if (args.get("abort-after-cells")) {
+    limit = args.get_u64("abort-after-cells", 0);
+  } else if (const char* env = std::getenv("UCR_ABORT_AFTER_CELLS");
+             env != nullptr && *env != '\0') {
+    limit = ucr::parse_u64_strict(env, "UCR_ABORT_AFTER_CELLS");
+  }
+  if (!limit.has_value()) return std::nullopt;
+  bool kill = false;
+  if (const char* mode = std::getenv("UCR_ABORT_MODE");
+      mode != nullptr && *mode != '\0') {
+    const std::string value = mode;
+    UCR_REQUIRE(value == "throw" || value == "kill",
+                "unknown UCR_ABORT_MODE '" + value + "' (throw, kill)");
+    kill = value == "kill";
+  }
+  return AbortSink(*limit, kill);
+}
 
 /// Splits a comma-separated list, rejecting empty items.
 std::vector<std::string> split_list(const std::string& text) {
@@ -480,10 +530,7 @@ int run_spec(const ucr::CliArgs& args) {
     cache = std::make_unique<ucr::svc::ResultCache>(*cache_dir);
     run_options.cache = cache.get();
   }
-  std::optional<AbortSink> abort_sink;
-  if (args.get("abort-after-cells")) {
-    abort_sink.emplace(args.get_u64("abort-after-cells", 0));
-  }
+  std::optional<AbortSink> abort_sink = make_abort_sink(args);
 
   // Streaming formats go straight to the sink — constant memory, rows
   // appear as the grid prefix completes.
@@ -586,7 +633,7 @@ int run_cli(int argc, char** argv) {
                            "shard", "threads", "csv", "format", "list",
                            "list-cells", "cache", "abort-after-cells",
                            "serve", "socket", "submit", "wait", "status",
-                           "cancel", "shutdown"});
+                           "cancel", "shutdown", "json"});
   if (args.get_bool("list", false)) return list_protocols();
   if (args.get_bool("serve", false) || args.get("submit") ||
       args.get("status") || args.get("cancel") ||
